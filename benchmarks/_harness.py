@@ -1,0 +1,48 @@
+"""Shared builders for the benchmark/experiment suite.
+
+Each ``test_*`` file under ``benchmarks/`` regenerates one artifact of
+the paper (see DESIGN.md's per-experiment index).  Since the paper's
+evaluation is qualitative, every experiment here (a) *asserts* the shape
+of the paper's claim, and (b) prints the measured table so EXPERIMENTS.md
+can quote it; the pytest-benchmark fixture additionally times the
+representative kernel of the experiment.
+
+Run:  pytest benchmarks/ --benchmark-only
+      pytest benchmarks/ -s            (to see the printed tables)
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.builder import Scenario, ScenarioBuilder
+
+
+def chain(n: int, seed: int = 7, spacing: float = 200.0, **config) -> ScenarioBuilder:
+    dns_pos = ((n - 1) * spacing / 2, 60.0)
+    b = ScenarioBuilder(seed=seed).chain(n, spacing=spacing).with_dns(dns_pos)
+    return b.config(**config) if config else b
+
+
+def two_path(seed: int = 5, **config) -> ScenarioBuilder:
+    """Short 2-hop path through (200, 0) plus a 3-hop detour."""
+    b = (
+        ScenarioBuilder(seed=seed)
+        .positions([(0, 0), (400, 0), (100, 150), (300, 150)])
+        .radio(250)
+        .with_dns((200, -400))
+    )
+    return b.config(**config) if config else b
+
+
+def bootstrapped(builder: ScenarioBuilder, names=None, settle: float = 8.0) -> Scenario:
+    sc = builder.build()
+    sc.bootstrap_all(names=names or {})
+    if settle:
+        sc.run(duration=settle)
+    return sc
+
+
+def print_rows(title: str, headers: list[str], rows: list[list]) -> None:
+    from repro.metrics.reports import format_table
+
+    print()
+    print(format_table(headers, rows, title=title))

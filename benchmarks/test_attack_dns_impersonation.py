@@ -1,0 +1,85 @@
+"""Experiment A1 -- impersonation of the DNS (Section 4).
+
+Paper: "Since we impose that every host knows DNS's public key prior to
+entering the MANET, such attacks can be easily defended."
+
+Measured shape: an on-path impersonator forges responses for every DNS
+query it relays; across many queries the number of *accepted* forged
+answers is exactly zero, while availability degrades at worst to a
+timeout when the impersonator also drops the real query.
+"""
+
+from repro.ipv6.cga import cga_address
+from repro.scenarios.attacks import add_dns_impersonator
+from repro.scenarios.builder import ScenarioBuilder
+
+from _harness import print_rows
+
+QUERIES = 8
+
+
+def run_case(drop_real_query, seed=191):
+    # Topology pins the impersonator as the ONLY relay between the
+    # querier (n0) and the DNS: n0 -- imp -- dns -- bob(n2).
+    sc = (
+        ScenarioBuilder(seed=seed)
+        .positions([(0, 0), (200, 200), (600, 0)])
+        .radio(250.0)
+        .with_dns((400.0, 0.0))
+        .build()
+    )
+    poison = cga_address(sc.hosts[1].public_key, rn=666)
+    imp = add_dns_impersonator(sc, (200.0, 0.0), fake_answer=poison,
+                               drop_real_query=drop_real_query)
+    sc.bootstrap_all(names={"n2": "bob.manet"})
+    sc.run(duration=8.0)
+
+    answers = []
+    client = sc.hosts[0]
+
+    def ask(i):
+        client.dns_client.resolve("bob.manet", answers.append, timeout=6.0)
+
+    for i in range(QUERIES):
+        sc.sim.schedule(i * 7.0, ask, i)
+    sc.run(duration=QUERIES * 7.0 + 15.0)
+
+    truth = sc.hosts[2].ip
+    poisoned = sum(1 for a in answers if a == poison)
+    correct = sum(1 for a in answers if a == truth)
+    timeouts = sum(1 for a in answers if a is None)
+    return {
+        "forged": imp.router.responses_forged,
+        "rejected": sc.metrics.verdicts["dns_client.response_rejected"],
+        "poisoned": poisoned,
+        "correct": correct,
+        "timeouts": timeouts,
+        "answers": len(answers),
+    }
+
+
+def test_dns_impersonation_never_poisons(benchmark):
+    passive = run_case(drop_real_query=False)
+    active = run_case(drop_real_query=True)
+
+    for case in (passive, active):
+        assert case["answers"] == QUERIES
+        assert case["poisoned"] == 0            # the headline claim
+    assert passive["forged"] > 0                 # the attack really ran
+    assert passive["rejected"] >= 1              # and was caught in the act
+    assert passive["correct"] == QUERIES         # race lost, truth wins
+    # Dropping the real query can only cost availability, never integrity.
+    assert active["correct"] + active["timeouts"] == QUERIES
+
+    print_rows(
+        "A1: DNS impersonation by an on-path relay, 8 queries",
+        ["variant", "forged", "rejected", "poisoned", "correct", "timeouts"],
+        [
+            ["forge only", passive["forged"], passive["rejected"],
+             passive["poisoned"], passive["correct"], passive["timeouts"]],
+            ["forge + drop real query", active["forged"], active["rejected"],
+             active["poisoned"], active["correct"], active["timeouts"]],
+        ],
+    )
+
+    benchmark.pedantic(lambda: run_case(False)["answers"], rounds=1, iterations=1)

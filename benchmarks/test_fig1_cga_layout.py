@@ -1,0 +1,63 @@
+"""Experiment F1 -- Figure 1 (the CGA site-local address layout).
+
+Checks the 10/38/16/64-bit field split on freshly generated addresses,
+prints a rendered address in the figure's format, and benchmarks CGA
+generation and verification (the per-identity and per-check costs).
+"""
+
+from repro.crypto.backend import get_backend
+from repro.crypto.hashes import cga_hash
+from repro.ipv6.cga import CGAParams, cga_address, generate_cga, verify_cga
+from repro.ipv6.prefixes import split_fields
+from repro.sim.rng import SimRNG
+
+from _harness import print_rows
+
+
+def test_fig1_field_layout_reproduced():
+    backend = get_backend("simsig")
+    kp = backend.generate_keypair(b"f1")
+    rng = SimRNG(9, "f1")
+    addr, params = generate_cga(kp.public, rng)
+    prefix, zeros, subnet, iface = split_fields(addr)
+
+    assert prefix == 0b1111111011            # fec0::/10 site-local
+    assert zeros == 0                        # 38 all-zero bits
+    assert subnet == 0                       # 16-bit subnet ID, 0 in a MANET
+    assert iface == cga_hash(kp.public.encode(), params.rn)  # H(PK, rn)
+    assert verify_cga(addr, params)
+
+    print_rows(
+        f"Figure 1 (reproduced) for {addr}",
+        ["field", "bits", "value"],
+        [
+            ["site-local prefix", 10, bin(prefix)],
+            ["all zeros", 38, zeros],
+            ["subnet ID", 16, subnet],
+            ["H(PK, rn)", 64, hex(iface)],
+        ],
+    )
+
+
+def test_fig1_collision_recovery_changes_only_rn():
+    """Paper: on a hash collision draw a new rn, PK unchanged."""
+    backend = get_backend("simsig")
+    kp = backend.generate_keypair(b"f1b")
+    a1 = cga_address(kp.public, rn=1)
+    a2 = cga_address(kp.public, rn=2)
+    assert a1 != a2
+    assert verify_cga(a2, CGAParams(kp.public, 2))
+
+
+def test_bench_cga_generation(benchmark):
+    backend = get_backend("simsig")
+    kp = backend.generate_keypair(b"f1-gen")
+    rng = SimRNG(10, "f1-gen")
+    benchmark(lambda: generate_cga(kp.public, rng))
+
+
+def test_bench_cga_verification(benchmark):
+    backend = get_backend("simsig")
+    kp = backend.generate_keypair(b"f1-ver")
+    addr, params = generate_cga(kp.public, SimRNG(11, "f1-ver"))
+    benchmark(lambda: verify_cga(addr, params))

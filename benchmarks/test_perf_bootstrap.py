@@ -1,0 +1,61 @@
+"""Experiment P1 -- bootstrap cost vs network size.
+
+The paper claims network formation is "light-weight" (one flood per
+joiner, no pre-configuration beyond the DNS key).  This sweep measures
+time-to-address and control overhead as the network grows, and checks
+the expected shape: per-node DAD time is flat (one dad_timeout wait
+dominates), while total AREQ traffic grows with both joiners and relays
+(O(n^2)-ish on a chain, since every flood crosses the whole network).
+"""
+
+import pytest
+
+from _harness import bootstrapped, chain, print_rows
+
+SIZES = (4, 8, 12)
+
+
+def measure(n, seed=233):
+    # Every host registers a name, so each one also re-floods its
+    # registration announcement once the network is formed -- the flood
+    # whose cost actually scales with network size.
+    names = {f"n{i}": f"host-{i}.manet" for i in range(n)}
+    sc = bootstrapped(chain(n, seed=seed), names=names, settle=6.0)
+    m = sc.metrics
+    assert sc.configured_count() == n
+    mean_dad = sum(m.dad_time.values()) / len(m.dad_time)
+    return {
+        "n": n,
+        "mean_dad_time": mean_dad,
+        "areq_sent": m.msgs_sent["AREQ"],
+        "control_bytes": m.control_bytes(),
+    }
+
+
+def test_bootstrap_scaling_shape(benchmark):
+    rows = [measure(n) for n in SIZES]
+
+    # Shape 1: per-node time-to-address is flat -- dominated by the fixed
+    # dad_timeout quiet window, not by network size.
+    times = [r["mean_dad_time"] for r in rows]
+    assert max(times) < 1.5 * min(times)
+    # Shape 2: flood traffic grows superlinearly with n on a chain.
+    per_node = [r["areq_sent"] / r["n"] for r in rows]
+    assert per_node[-1] > per_node[0]
+
+    print_rows(
+        "P1: bootstrap cost vs network size (chain topology)",
+        ["nodes", "mean time-to-address (s)", "AREQ frames", "control bytes"],
+        [[r["n"], f'{r["mean_dad_time"]:.2f}', r["areq_sent"],
+          r["control_bytes"]] for r in rows],
+    )
+
+    benchmark.pedantic(lambda: measure(8)["n"], rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_bootstrap_configures_everyone(n):
+    sc = bootstrapped(chain(n, seed=239), settle=2.0)
+    assert sc.configured_count() == n
+    addrs = {h.ip for h in sc.hosts}
+    assert len(addrs) == n  # all unique

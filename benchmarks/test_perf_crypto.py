@@ -1,0 +1,96 @@
+"""Experiment P3 -- crypto backend microbenchmarks (ablation).
+
+The protocol logic is backend-independent (one CryptoBackend interface).
+This file times the primitive operations of the from-scratch RSA backend
+against the hash-based simulated-signature backend, and asserts the
+expected cost asymmetries: RSA sign >> RSA verify (small public
+exponent), and simsig is orders of magnitude cheaper than both -- which
+is why large sweeps run on simsig while security tests run on RSA.
+"""
+
+import pytest
+
+from repro.crypto.backend import get_backend
+
+MESSAGE = b"RREQ-S|" + b"\x00" * 24
+
+
+@pytest.fixture(scope="module")
+def rsa_keys():
+    backend = get_backend("rsa")
+    kp = backend.generate_keypair(b"p3")
+    sig = backend.sign(kp.private, MESSAGE)
+    return backend, kp, sig
+
+
+@pytest.fixture(scope="module")
+def sim_keys():
+    backend = get_backend("simsig")
+    kp = backend.generate_keypair(b"p3")
+    sig = backend.sign(kp.private, MESSAGE)
+    return backend, kp, sig
+
+
+def test_bench_rsa_keygen(benchmark):
+    backend = get_backend("rsa")
+    counter = [0]
+
+    def keygen():
+        counter[0] += 1
+        return backend.generate_keypair(f"p3-{counter[0]}".encode())
+
+    benchmark.pedantic(keygen, rounds=5, iterations=1)
+
+
+def test_bench_rsa_sign(benchmark, rsa_keys):
+    backend, kp, _ = rsa_keys
+    benchmark(lambda: backend.sign(kp.private, MESSAGE))
+
+
+def test_bench_rsa_verify(benchmark, rsa_keys):
+    backend, kp, sig = rsa_keys
+    benchmark(lambda: backend.verify(kp.public, MESSAGE, sig))
+
+
+def test_bench_simsig_sign(benchmark, sim_keys):
+    backend, kp, _ = sim_keys
+    benchmark(lambda: backend.sign(kp.private, MESSAGE))
+
+
+def test_bench_simsig_verify(benchmark, sim_keys):
+    backend, kp, sig = sim_keys
+    benchmark(lambda: backend.verify(kp.public, MESSAGE, sig))
+
+
+def test_rsa_cost_asymmetry(rsa_keys):
+    """RSA with e=65537: verify must be much cheaper than sign (CRT or not)."""
+    import time
+
+    backend, kp, sig = rsa_keys
+    n = 50
+    t0 = time.perf_counter()
+    for _ in range(n):
+        backend.sign(kp.private, MESSAGE)
+    sign_t = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        backend.verify(kp.public, MESSAGE, sig)
+    verify_t = time.perf_counter() - t0
+    assert sign_t > 2 * verify_t
+
+
+def test_simsig_much_cheaper_than_rsa(rsa_keys, sim_keys):
+    import time
+
+    rsa_backend, rsa_kp, _ = rsa_keys
+    sim_backend, sim_kp, _ = sim_keys
+    n = 50
+    t0 = time.perf_counter()
+    for _ in range(n):
+        rsa_backend.sign(rsa_kp.private, MESSAGE)
+    rsa_t = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        sim_backend.sign(sim_kp.private, MESSAGE)
+    sim_t = time.perf_counter() - t0
+    assert rsa_t > 10 * sim_t

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Black-hole defence walkthrough (Section 4 + Section 3.4).
+
+A black hole sits on the shortest path between two hosts; a 3-hop detour
+exists.  The script runs the same traffic three times:
+
+1. plain DSR -- the attacker forges route replies and eats the flow;
+2. secure protocol, normal mode -- forgery fails, drops are probed,
+   the attacker is penalised and routed around;
+3. secure protocol, hostile mode -- credit-first route choice.
+
+It prints the per-phase delivery and the attacker's credit as seen by
+the source, reproducing the paper's qualitative claim ("such attacks are
+unlikely to succeed after the network is stable") as numbers.
+
+Run:  python examples/blackhole_defense.py
+"""
+
+from repro.routing import PlainDSRRouter
+from repro.scenarios import CBRTraffic, ScenarioBuilder, add_blackhole
+
+
+def run_phase(label, router=None, hostile=False, forge=False, seed=5, count=25):
+    builder = (
+        ScenarioBuilder(seed=seed)
+        # Short path n0 -(bh)- n1; detour n0 - n2 - n3 - n1.
+        .positions([(0, 0), (400, 0), (100, 150), (300, 150)])
+        .radio(250.0)
+        .with_dns((200.0, -400.0))
+        .config(hostile_mode=hostile)
+    )
+    if router is not None:
+        builder = builder.router(router)
+    scenario = builder.build()
+    bh = add_blackhole(scenario, (200.0, 0.0), forge_rreps=forge)
+    scenario.bootstrap_all()
+    src, dst = scenario.hosts[0], scenario.hosts[1]
+    traffic = CBRTraffic(src, dst.ip, interval=1.0, count=count)
+    scenario.run(duration=count + 40.0)
+
+    credit = src.router.credits.credit(bh.ip) if bh.ip else float("nan")
+    print(f"{label:<38} delivered {traffic.delivered:>2}/{count}   "
+          f"bh dropped {bh.router.packets_dropped:>2}   "
+          f"bh forged RREPs {bh.router.rreps_forged:>2}   "
+          f"bh credit at src {credit:>6.1f}")
+    return traffic, bh
+
+
+def main() -> None:
+    print("Black hole on the shortest path, honest 3-hop detour available\n")
+    run_phase("plain DSR + forging black hole", router=PlainDSRRouter, forge=True)
+    run_phase("secure protocol (normal mode)", forge=True)
+    run_phase("secure protocol (hostile mode)", hostile=True, forge=True)
+    print(
+        "\nReading: under plain DSR the forged route replies are believed\n"
+        "and the black hole keeps eating first-attempt traffic; under the\n"
+        "secure protocol the forgeries fail the CGA check, silent drops\n"
+        "trigger per-hop probing, the black hole's credit collapses by the\n"
+        "penalty amount, and traffic settles on the honest detour."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: form a MANET, bootstrap securely, route a packet.
+
+Builds a 5-node chain (4 radio hops end to end) with a DNS server, runs
+the paper's secure bootstrap (CGA autoconfiguration + extended DAD +
+name registration), resolves a name, and sends data over the secure
+DSR-derived routing protocol.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.metrics.reports import delivery_report, overhead_report, security_report
+from repro.scenarios import ScenarioBuilder
+
+
+def main() -> None:
+    # -- build a network ------------------------------------------------
+    scenario = (
+        ScenarioBuilder(seed=42)
+        .chain(5, spacing=200.0)       # 5 hosts in a line, 200 m apart
+        .radio(radio_range=250.0)      # unit-disk radios: only neighbours hear
+        .with_dns((400.0, 60.0))       # the trust-anchor DNS server
+        .build()
+    )
+
+    # -- secure bootstrap (Section 3.1) ----------------------------------
+    scenario.bootstrap_all(names={"n0": "alice.manet", "n4": "bob.manet"})
+    scenario.run(duration=8.0)  # let name-registration refreshes settle
+    print("Configured addresses:")
+    for host in scenario.hosts:
+        name = f"  ({host.domain_name})" if host.domain_name else ""
+        print(f"  {host.name}: {host.ip}{name}")
+    print(f"\nDNS table: {scenario.dns_server.table.names()}")
+
+    # -- secure name resolution (Section 3.2) -----------------------------
+    alice = scenario.host("n0")
+    resolved = []
+    alice.dns_client.resolve("bob.manet", resolved.append)
+    scenario.run(duration=10.0)
+    print(f"\nalice resolved bob.manet -> {resolved[0]}")
+
+    # -- secure route discovery + data (Sections 3.3-3.4) ------------------
+    delivered = []
+    alice.router.send_data(
+        resolved[0], b"hello across four hops",
+        on_delivered=lambda: delivered.append(scenario.sim.now),
+    )
+    scenario.run(duration=10.0)
+    print(f"delivered + end-to-end ACKed at t={delivered[0]:.3f}s")
+    route = alice.router.cache.routes_to(resolved[0], scenario.sim.now)[0]
+    print(f"route used: {[str(h) for h in route.route]}")
+
+    # -- reports --------------------------------------------------------------
+    print()
+    print(delivery_report(scenario.metrics))
+    print()
+    print(overhead_report(scenario.metrics))
+    print()
+    print(security_report(scenario.metrics))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+This offline environment ships setuptools without the ``wheel`` package,
+so PEP-517 editable installs (`pip install -e .`) cannot build a wheel.
+Keeping a setup.py lets `pip install -e . --no-use-pep517
+--no-build-isolation` (and plain ``python setup.py develop``) work; all
+real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

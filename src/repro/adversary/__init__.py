@@ -1,0 +1,42 @@
+"""The Section 4 attackers.
+
+Each adversary plays by the simulation's physics and crypto rules: it
+can transmit any frame it likes and lie in any field, but it cannot read
+other nodes' private keys or forge signatures.  Within those rules:
+
+* :class:`~repro.adversary.blackhole.BlackholeRouter` -- attracts /
+  accepts traffic, silently drops what it should forward (Section 4,
+  black hole attack).
+* :class:`~repro.adversary.forger.ForgingRouter` -- forges RREPs
+  (claiming to be the destination), splices bogus hops into the SRR,
+  forges ACKs.
+* :class:`~repro.adversary.replayer.ReplayAgent` -- records and replays
+  AREP/DREP/RREP/CREP/RERR messages.
+* :class:`~repro.adversary.impersonator.DNSImpersonatorRouter` -- an
+  on-path relay that answers DNS queries with forged responses;
+  :func:`~repro.adversary.impersonator.attempt_address_takeover` -- a
+  host that adopts someone else's address without the matching key.
+* :class:`~repro.adversary.rerr_spammer.RERRSpamRouter` -- an on-path
+  relay that floods spurious route errors.
+* :class:`~repro.adversary.identity_churner.IdentityChurnBlackhole` --
+  a black hole that re-bootstraps fresh CGA identities to shed bad
+  credit (the paper's "a hostile node may keep on changing its
+  identity" case).
+"""
+
+from repro.adversary.blackhole import BlackholeRouter
+from repro.adversary.forger import ForgingRouter
+from repro.adversary.replayer import ReplayAgent
+from repro.adversary.impersonator import DNSImpersonatorRouter, attempt_address_takeover
+from repro.adversary.rerr_spammer import RERRSpamRouter
+from repro.adversary.identity_churner import IdentityChurnBlackhole
+
+__all__ = [
+    "BlackholeRouter",
+    "ForgingRouter",
+    "ReplayAgent",
+    "DNSImpersonatorRouter",
+    "attempt_address_takeover",
+    "RERRSpamRouter",
+    "IdentityChurnBlackhole",
+]

@@ -1,0 +1,86 @@
+"""The black hole attacker (Section 4).
+
+"A malicious node may announce having good routes leading to all other
+hosts and thus attract all hosts choosing it as a relay node.  When data
+packets arrive, the host may simply ignore them."
+
+Two attraction strategies, matching what each protocol level permits:
+
+* Against *plain DSR* it forges RREPs for every RREQ it hears
+  (``forge_rreps=True``), claiming a 1-hop route to any destination --
+  the classic attack, and it works because nothing is verified.
+* Against the *secure* protocol it cannot forge a verifiable RREP, so it
+  participates honestly in discovery (its SRR entry is genuine -- it
+  *is* who it says it is) and simply drops the data afterwards.  The
+  paper's point is exactly that the attack then degenerates: the
+  identity on the route is real, probing pins the drop on it, and
+  credit management routes around it.
+
+It ACKs packets addressed to *itself* (including probes): a black hole
+that went silent as a destination would be trivially identifiable.
+"""
+
+from __future__ import annotations
+
+from repro.messages import signing
+from repro.messages.data import DataPacket
+from repro.messages.routing import RREP, RREQ
+from repro.phy.medium import Frame
+from repro.routing.secure_dsr import SecureDSRRouter
+
+
+class BlackholeRouter(SecureDSRRouter):
+    """Drops forwarded data; optionally forges RREPs to attract flows."""
+
+    def __init__(self, node, forge_rreps: bool = False, drop_probability: float = 1.0):
+        super().__init__(node)
+        if not 0.0 <= drop_probability <= 1.0:
+            raise ValueError("drop_probability must be in [0, 1]")
+        self.forge_rreps = forge_rreps
+        self.drop_probability = drop_probability
+        self._drop_rng = node.rng("blackhole")
+        self.packets_dropped = 0
+        self.rreps_forged = 0
+
+    def _forward_data(self, msg: DataPacket) -> None:
+        if self._drop_rng.random() < self.drop_probability:
+            self.packets_dropped += 1
+            self.node.note(f"blackhole dropped data seq={msg.seq} for {msg.dip}")
+            return
+        super()._forward_data(msg)
+
+    def _on_rreq(self, frame: Frame, msg: RREQ) -> None:
+        if (
+            self.forge_rreps
+            and self.node.configured
+            and not self.node.owns_address(msg.dip)
+            and (msg.sip, msg.seq) not in self._seen_rreqs
+        ):
+            # Forge the attraction reply, then ALSO participate honestly
+            # (below): if the forgery is rejected, the black hole still
+            # gets onto legitimately discovered routes as a relay.
+            self._forge_rrep(msg)
+        super()._on_rreq(frame, msg)
+
+    def _forge_rrep(self, msg: RREQ) -> None:
+        """Claim "the destination is right behind me" with our own key.
+
+        The forged route is (hops so far) + us; the signature is ours,
+        not the destination's, so the CGA check at S fails under the
+        secure protocol -- and sails through under plain DSR.
+        """
+        self.rreps_forged += 1
+        route = msg.route_ips + (self.node.ip,)
+        fake_sig = self.node.sign(signing.rrep_payload(msg.sip, msg.seq, route))
+        rrep = RREP(
+            sip=msg.sip,
+            dip=msg.dip,
+            seq=msg.seq,
+            route=route,
+            signature=fake_sig,
+            public_key=self.node.public_key,  # our key, not D's
+            rn=self._own_rn(),
+            hop_limit=self.cfg.hop_limit,
+        )
+        next_hop = route[-2] if len(route) >= 2 else msg.sip
+        self.node.unicast_ip(next_hop, rrep)

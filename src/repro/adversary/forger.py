@@ -1,0 +1,97 @@
+"""Message forgery attacks (Section 4, "Replayed or Forged ...").
+
+The forger holds a perfectly valid identity of its own; what it cannot
+do is produce another host's signature.  :class:`ForgingRouter` tries
+anyway, in three ways the experiments measure separately:
+
+* ``forge_rrep`` -- answer discoveries pretending to be the destination
+  (same mechanism as the black hole's attraction step);
+* ``spoof_hop`` -- as a relay, append an SRR entry for a *different* IP
+  (an innocent third party, or a fabricated address).  Against the full
+  protocol the destination's per-hop check rejects it; against the
+  BSAR-like baseline it passes, poisoning the discovered route;
+* ``forge_ack`` -- inject fake end-to-end ACKs for flows it relays,
+  trying to mint credit and mask drops.
+"""
+
+from __future__ import annotations
+
+from repro.ipv6.address import IPv6Address
+from repro.messages import signing
+from repro.messages.data import AckPacket, DataPacket
+from repro.messages.routing import RREQ, SRREntry
+from repro.phy.medium import Frame
+from repro.routing.secure_dsr import SecureDSRRouter
+
+
+class ForgingRouter(SecureDSRRouter):
+    """A relay that lies in route records and acknowledgements."""
+
+    def __init__(
+        self,
+        node,
+        spoof_hop_ip: IPv6Address | None = None,
+        forge_acks: bool = False,
+        drop_data: bool = False,
+    ):
+        super().__init__(node)
+        #: The IP to splice into SRRs (None disables hop spoofing).
+        self.spoof_hop_ip = spoof_hop_ip
+        self.forge_acks = forge_acks
+        self.drop_data = drop_data
+        self.hops_spoofed = 0
+        self.acks_forged = 0
+
+    # -- SRR hop spoofing ---------------------------------------------------
+    def _relay_rreq(self, msg: RREQ) -> None:
+        if self.spoof_hop_ip is None:
+            super()._relay_rreq(msg)
+            return
+        if msg.hop_limit <= 1:
+            return
+        self.hops_spoofed += 1
+        # Claim the spoofed IP relayed this RREQ.  We sign with our own
+        # key (we have no other) -- under per-hop verification the CGA
+        # check "low64(IP) == H(PK, rn)" fails; under endpoint-only
+        # verification nobody ever looks.
+        forged = SRREntry(
+            ip=self.spoof_hop_ip,
+            signature=self.node.sign(
+                signing.srr_entry_payload(self.spoof_hop_ip, msg.seq)
+            ),
+            public_key=self.node.public_key,
+            rn=self._own_rn(),
+        )
+        relayed = msg.append_entry(forged)
+        delay = self._rng.uniform(0.0, self.cfg.rebroadcast_jitter)
+        self.node.sim.schedule(delay, self.node.broadcast, relayed)
+
+    # -- data handling ---------------------------------------------------------
+    def _forward_data(self, msg: DataPacket) -> None:
+        if self.forge_acks:
+            self._inject_fake_ack(msg)
+        if self.drop_data:
+            self.node.note(f"forger dropped data seq={msg.seq}")
+            return
+        super()._forward_data(msg)
+
+    def _inject_fake_ack(self, msg: DataPacket) -> None:
+        """Pretend the destination acknowledged (signature is ours, not D's)."""
+        self.acks_forged += 1
+        fake = AckPacket(
+            sip=msg.sip,
+            dip=msg.dip,
+            seq=msg.seq,
+            route=msg.route,
+            signature=self.node.sign(
+                signing.ack_payload(msg.sip, msg.dip, msg.seq)
+            ),
+            public_key=self.node.public_key,
+            rn=self._own_rn(),
+            hop_limit=self.cfg.hop_limit,
+        )
+        # Send it back toward the source along the reverse prefix.
+        my_pos = msg.segment_index + 2  # our position in the full path
+        path = msg.full_path()
+        prev = path[my_pos - 1] if my_pos >= 1 else msg.sip
+        self.node.unicast_ip(prev, fake)

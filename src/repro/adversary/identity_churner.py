@@ -1,0 +1,54 @@
+"""The identity-churning black hole.
+
+"A hostile node may keep on changing its identity, which is allowed in
+IPv6.  So S may not be able to find a node with a particularly high
+RERR reporting frequency."  (Section 3.4)
+
+CGAs make identity change cheap: draw a fresh ``rn``, re-run DAD, and
+the old reputation is unreachable.  This attacker is a black hole that
+re-bootstraps on a timer, shedding whatever negative credit it has
+accumulated.  The paper's countermeasure is the *low initial credit*:
+in hostile mode a source prefers relays with proven history, and a
+freshly churned identity never has any -- so churning trades a bad
+reputation for a permanently mediocre one, and attack traffic dries up
+either way.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.blackhole import BlackholeRouter
+from repro.core.node import Node
+
+
+class IdentityChurnBlackhole(BlackholeRouter):
+    """Black hole that periodically re-bootstraps a fresh CGA identity."""
+
+    def __init__(self, node: Node, churn_interval: float = 20.0, **kw):
+        super().__init__(node, **kw)
+        if churn_interval <= 0:
+            raise ValueError("churn_interval must be positive")
+        self.churn_interval = churn_interval
+        self.identities_used = 0
+        self._churn_scheduled = False
+
+    def start_churning(self) -> None:
+        """Begin the churn cycle (call after the first bootstrap completes)."""
+        if self._churn_scheduled:
+            return
+        self._churn_scheduled = True
+        self.node.sim.schedule(self.churn_interval, self._churn)
+
+    def _churn(self) -> None:
+        if self.node.configured:
+            old = self.node.ip
+            self.identities_used += 1
+            self.node.abandon_identity()
+            # Wipe protocol state tied to the old identity.
+            self.cache.clear()
+            self._seen_rreqs.clear()
+            self.node.note(f"churning identity away from {old}")
+            bootstrap = self.node.bootstrap
+            if bootstrap is not None:
+                bootstrap.state = "idle"
+                bootstrap.start(domain_name="")
+        self.node.sim.schedule(self.churn_interval, self._churn)

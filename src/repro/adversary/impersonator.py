@@ -1,0 +1,112 @@
+"""Impersonation attacks (Section 4, "Impersonation of DNS" + CGA claims).
+
+Two distinct impersonations:
+
+* :class:`DNSImpersonatorRouter` -- an on-path relay that inspects the
+  DNS queries it forwards and races the real server with forged
+  responses (optionally dropping the real query so only the forgery
+  arrives).  The defence is the pre-distributed DNS public key: the
+  client verifies every response signature against it, so the forgery
+  is rejected no matter how fast it arrives.
+
+* :func:`attempt_address_takeover` -- a host that simply *adopts*
+  another host's IP address without running DAD and without owning the
+  matching key pair.  It can source frames with that address (the link
+  layer doesn't stop it), but the moment it must *prove* the identity
+  -- answering a discovery as the destination, defending in DAD,
+  reporting a RERR -- the CGA check ``low64(IP) == H(PK, rn)`` fails,
+  because finding (PK', rn') hashing to the victim's interface
+  identifier is a second-preimage search.
+"""
+
+from __future__ import annotations
+
+from repro.core.node import Node
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.cga import CGAParams
+from repro.messages import signing
+from repro.messages.base import CodecError
+from repro.messages.codec import decode_message, encode_message
+from repro.messages.data import DataPacket
+from repro.messages.dns import DNSQuery, DNSResponse
+from repro.routing.secure_dsr import SecureDSRRouter
+
+
+class DNSImpersonatorRouter(SecureDSRRouter):
+    """On-path relay that forges DNS responses for queries it carries."""
+
+    def __init__(
+        self,
+        node,
+        fake_answer: IPv6Address,
+        drop_real_query: bool = True,
+    ):
+        super().__init__(node)
+        #: The address the forged responses point victims at.
+        self.fake_answer = fake_answer
+        self.drop_real_query = drop_real_query
+        self.responses_forged = 0
+
+    def _forward_data(self, msg: DataPacket) -> None:
+        query = self._extract_query(msg)
+        if query is not None:
+            self._forge_response(query, msg)
+            if self.drop_real_query:
+                self.node.note(f"impersonator dropped DNS query {query.domain_name!r}")
+                return
+        super()._forward_data(msg)
+
+    @staticmethod
+    def _extract_query(msg: DataPacket) -> DNSQuery | None:
+        if not msg.payload:
+            return None
+        try:
+            inner = decode_message(msg.payload)
+        except CodecError:
+            return None
+        return inner if isinstance(inner, DNSQuery) else None
+
+    def _forge_response(self, query: DNSQuery, packet: DataPacket) -> None:
+        """Answer with our own signature over the attacker-chosen binding."""
+        self.responses_forged += 1
+        forged = DNSResponse(
+            domain_name=query.domain_name,
+            ip=self.fake_answer,
+            found=True,
+            ch=query.ch,  # we can echo the challenge -- it travels in clear
+            signature=self.node.sign(
+                signing.dns_response_payload(query.domain_name, self.fake_answer, query.ch)
+            ),
+        )
+        my_pos = packet.segment_index + 2
+        path = packet.full_path()
+        reverse_route = tuple(reversed(path[1:my_pos]))
+        reply = DataPacket(
+            sip=self.node.ip,
+            dip=packet.sip,
+            seq=self.node.next_seq(),
+            route=reverse_route,
+            payload=encode_message(forged),
+            sent_at=self.node.sim.now,
+            hop_limit=self.cfg.hop_limit,
+        )
+        # Impersonate the server at the network layer too: the payload
+        # signature is what actually matters to the victim.
+        self._transmit(reply, None, None, retries=0)
+
+
+def attempt_address_takeover(node: Node, victim_ip: IPv6Address) -> None:
+    """Make ``node`` claim ``victim_ip`` as its own address, skipping DAD.
+
+    The node keeps its real key pair, so every identity proof it later
+    attempts for this address fails the CGA check.  Pair with a normal
+    router to measure how far an address thief gets (answer: it can
+    receive frames sent to the address by confused neighbours, but no
+    secure exchange completes).
+    """
+    node.abandon_identity()
+    node.ip = victim_ip
+    # rn=0 with our key will NOT hash to the victim's interface id --
+    # that is the point.  We store it so signing code paths still run.
+    node.cga_params = CGAParams(node.public_key, 0)
+    node.note(f"adopted stolen address {victim_ip} (no matching key)")

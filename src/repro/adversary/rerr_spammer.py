@@ -1,0 +1,95 @@
+"""The RERR spammer (Section 4, "Replayed or Forged RERR").
+
+An on-path relay that reports its forward link broken on every packet
+it carries -- while actually forwarding or dropping, configurably.  Its
+reports are *legitimate* in form: it is on the route, it signs with its
+real identity, and the paper concedes "the source has to accept this
+report...".  The defence is frequency tracking: "if the malicious host
+keeps on conducting such attacks, its identity will be tracked by the
+initiator" -- after ``rerr_suspicion_threshold`` reports in the window,
+the source penalises the reporter's credit and routes around it.
+
+An *off-path* forgery variant is provided too
+(:meth:`RERRSpamRouter.forge_offpath_rerr`): a RERR for a route the
+spammer is not on, which the source's on-route check rejects outright.
+"""
+
+from __future__ import annotations
+
+from repro.ipv6.address import IPv6Address
+from repro.messages import signing
+from repro.messages.data import DataPacket
+from repro.messages.routing import RERR
+from repro.routing.secure_dsr import SecureDSRRouter
+
+
+class RERRSpamRouter(SecureDSRRouter):
+    """Relay that cries wolf about its next-hop link."""
+
+    def __init__(self, node, also_drop: bool = False, spam_probability: float = 1.0):
+        super().__init__(node)
+        self.also_drop = also_drop
+        self.spam_probability = spam_probability
+        self._spam_rng = node.rng("rerr-spam")
+        self.rerrs_spammed = 0
+
+    def _forward_data(self, msg: DataPacket) -> None:
+        spam = self._spam_rng.random() < self.spam_probability
+        if spam:
+            self._spam_rerr(msg)
+        if spam and self.also_drop:
+            self.node.note(f"rerr-spammer dropped data seq={msg.seq}")
+            return
+        super()._forward_data(msg)
+
+    def _spam_rerr(self, msg: DataPacket) -> None:
+        """A well-formed, truthfully-signed, but false report."""
+        self.rerrs_spammed += 1
+        fwd = msg.advance()
+        path = fwd.full_path()
+        my_pos = fwd.segment_index + 1
+        if my_pos + 1 >= len(path):
+            return
+        next_hop = path[my_pos + 1]
+        return_route = tuple(reversed(path[1:my_pos]))
+        rerr = RERR(
+            reporter_ip=self.node.ip,
+            broken_next_hop=next_hop,
+            signature=self.node.sign(
+                signing.rerr_payload(self.node.ip, next_hop)
+            ),
+            public_key=self.node.public_key,
+            rn=self._own_rn(),
+            sip=msg.sip,
+            return_route=return_route,
+            hop_limit=self.cfg.hop_limit,
+        )
+        first = return_route[0] if return_route else msg.sip
+        self.node.unicast_ip(first, rerr)
+
+    def forge_offpath_rerr(
+        self,
+        victim_source: IPv6Address,
+        fake_reporter_next: IPv6Address,
+    ) -> None:
+        """Report a broken link on a route we are NOT part of.
+
+        Signed with our own real identity (we cannot do better), claiming
+        our link to ``fake_reporter_next`` broke, aimed at a source whose
+        routes never contained us.  The source's "is the reporter on one
+        of my routes?" check rejects it.
+        """
+        self.rerrs_spammed += 1
+        rerr = RERR(
+            reporter_ip=self.node.ip,
+            broken_next_hop=fake_reporter_next,
+            signature=self.node.sign(
+                signing.rerr_payload(self.node.ip, fake_reporter_next)
+            ),
+            public_key=self.node.public_key,
+            rn=self._own_rn(),
+            sip=victim_source,
+            return_route=(),
+            hop_limit=self.cfg.hop_limit,
+        )
+        self.node.broadcast(rerr)

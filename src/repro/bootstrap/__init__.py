@@ -1,0 +1,24 @@
+"""Secure address autoconfiguration (Section 3.1).
+
+:class:`~repro.bootstrap.autoconf.BootstrapManager` drives a node from
+"no address" to a verified-unique CGA site-local address and (optionally)
+a registered domain name:
+
+1. generate ``fec0::H(PK, rn)`` with a fresh random modifier,
+2. flood ``AREQ(SIP, seq, DN, ch, RR)`` and wait ``dad_timeout``,
+3. a duplicate holder answers ``AREP`` (challenge signed; CGA-checked),
+   forcing a new ``rn`` and another round,
+4. the DNS server answers a name conflict with a signed ``DREP``,
+   forcing a new name,
+5. silence means success: adopt the identity (and the DNS registers the
+   name after its own quiet window).
+
+:mod:`repro.bootstrap.verifier` holds the two-step identity check
+("CGA hash matches" + "challenge correctly signed") shared with the
+routing and DNS layers.
+"""
+
+from repro.bootstrap.autoconf import BootstrapManager
+from repro.bootstrap.verifier import verify_identity, IdentityCheck
+
+__all__ = ["BootstrapManager", "verify_identity", "IdentityCheck"]

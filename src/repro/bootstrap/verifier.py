@@ -1,0 +1,69 @@
+"""The paper's two-step identity verification, as a reusable check.
+
+Every identity-bearing message (AREP, each SRR entry, RREP, CREP legs,
+RERR) is validated the same way (Sections 3.1 and 3.3):
+
+1. **CGA check** -- the lower 64 bits of the claimed IP equal
+   ``H(PK, rn)`` (and the address is well-formed site-local), binding
+   the IP to the key pair;
+2. **Signature check** -- the attached ``[...]_SK`` decrypts (verifies)
+   under PK over the expected canonical payload, proving possession of
+   the private key *for this specific context* (challenge, sequence
+   number, route...).
+
+Passing both means "the sender is who the address says it is";
+:func:`verify_identity` returns a structured verdict so callers can
+report *why* something was rejected (the benchmarks aggregate these
+reasons).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.backend import CryptoBackend
+from repro.crypto.keys import PublicKey
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.cga import CGAParams, verify_cga
+
+
+@dataclass(frozen=True)
+class IdentityCheck:
+    """Verdict of a two-step identity verification."""
+
+    ok: bool
+    #: "" when ok; otherwise "bad_cga" or "bad_signature".
+    reason: str = ""
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def verify_identity(
+    backend: CryptoBackend,
+    ip: IPv6Address,
+    public_key: PublicKey,
+    rn: int,
+    signature: bytes,
+    payload: bytes,
+    verify_fn=None,
+) -> IdentityCheck:
+    """Run the CGA check then the signature check (see module docstring).
+
+    ``payload`` must be the canonical signed bytes from
+    :mod:`repro.messages.signing` -- caller picks the right constructor
+    for the message kind being verified.  ``verify_fn`` (default
+    ``backend.verify``) lets node code route the signature check through
+    :meth:`repro.core.node.Node.verify` so metrics and simulated crypto
+    delay are accounted.
+    """
+    try:
+        params = CGAParams(public_key, rn)
+    except ValueError:
+        return IdentityCheck(False, "bad_cga")
+    if not verify_cga(ip, params):
+        return IdentityCheck(False, "bad_cga")
+    check = verify_fn if verify_fn is not None else backend.verify
+    if not check(public_key, payload, signature):
+        return IdentityCheck(False, "bad_signature")
+    return IdentityCheck(True)

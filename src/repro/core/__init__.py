@@ -1,0 +1,15 @@
+"""The protocol node and its wiring.
+
+:class:`~repro.core.node.Node` is the hub every protocol component
+(bootstrap manager, router, DNS client/server, adversary logic) attaches
+to: it owns the radio, the key pair, the IP identity, the neighbour
+cache and message dispatch.  :class:`~repro.core.config.NodeConfig`
+centralises every protocol knob; :class:`~repro.core.context.NetContext`
+bundles the per-scenario singletons (kernel, medium, metrics, trace).
+"""
+
+from repro.core.config import NodeConfig
+from repro.core.context import NetContext
+from repro.core.node import Node
+
+__all__ = ["NodeConfig", "NetContext", "Node"]

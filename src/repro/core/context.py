@@ -1,0 +1,36 @@
+"""Per-scenario shared services.
+
+A :class:`NetContext` is created once per scenario and handed to every
+node: the simulation kernel, the shared medium, the metrics collector,
+the trace recorder, and the network-wide DNS trust anchor (the DNS
+server's public key, which the paper assumes "has been securely
+distributed to all mobile nodes prior to network formation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.keys import PublicKey
+from repro.metrics.collector import MetricsCollector
+from repro.phy.medium import WirelessMedium
+from repro.sim.kernel import Simulator
+from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class NetContext:
+    """Bundle of scenario-wide singletons shared by all nodes."""
+
+    sim: Simulator
+    medium: WirelessMedium
+    metrics: MetricsCollector = field(default_factory=MetricsCollector)
+    trace: TraceRecorder = field(default_factory=TraceRecorder)
+    #: The pre-distributed DNS public key -- the system's only a-priori
+    #: security state.  Set by the scenario builder when the DNS server
+    #: node is created, before any host bootstraps.
+    dns_public_key: PublicKey | None = None
+
+    @property
+    def now(self) -> float:
+        return self.sim.now

@@ -1,0 +1,15 @@
+"""Credit management (Section 3.4).
+
+Each source node keeps a :class:`~repro.credit.manager.CreditManager`
+scoring the hosts that relay for it: +1 per end-to-end-ACKed packet,
+a very large penalty on detected misbehaviour, and a deliberately low
+initial credit so that an attacker who rotates IPv6 identities (which
+CGAs make cheap) restarts from the bottom every time.
+
+:mod:`repro.credit.policy` turns per-host credits into route choices.
+"""
+
+from repro.credit.manager import CreditManager
+from repro.credit.policy import route_score, select_route, RoutePolicy
+
+__all__ = ["CreditManager", "route_score", "select_route", "RoutePolicy"]

@@ -1,0 +1,100 @@
+"""Per-source credit ledger.
+
+The paper's rules (Section 3.4):
+
+* "Whenever a data packet is correctly acknowledged by D, the credit of
+  each host in the route is increased by one."
+* "A new node should be given a low credit."
+* "If a host is found to misbehave, its credits are decreased by a very
+  large amount."
+
+Credits are keyed by IP address.  That is exactly what the paper
+intends: a malicious host *can* shed a bad reputation by changing its
+CGA, but the new identity starts at the low initial credit, so in
+``hostile_mode`` the source still prefers proven relays -- churning
+identities never earns trust, it only resets to the floor.
+
+The manager also tracks RERR report frequency per reporter (the "RERR
+messages reported by the same host with a particularly high frequency"
+heuristic) over a sliding window.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+
+from repro.ipv6.address import IPv6Address
+
+
+class CreditManager:
+    """Credit ledger + RERR frequency tracker for one source node."""
+
+    def __init__(
+        self,
+        initial: float = 1.0,
+        reward: float = 1.0,
+        penalty: float = 50.0,
+        rerr_window: float = 30.0,
+        rerr_threshold: int = 3,
+    ):
+        if initial < 0 or reward <= 0 or penalty <= 0:
+            raise ValueError("initial >= 0, reward > 0, penalty > 0 required")
+        self.initial = initial
+        self.reward_amount = reward
+        self.penalty_amount = penalty
+        self.rerr_window = rerr_window
+        self.rerr_threshold = rerr_threshold
+        self._credits: dict[IPv6Address, float] = {}
+        self._rerr_times: dict[IPv6Address, deque[float]] = defaultdict(deque)
+        # Counters for experiment reporting.
+        self.rewards_granted = 0
+        self.penalties_applied = 0
+
+    # -- credit -------------------------------------------------------------
+    def credit(self, host: IPv6Address) -> float:
+        """Current credit; unknown hosts sit at the low initial value."""
+        return self._credits.get(host, self.initial)
+
+    def known_hosts(self) -> list[IPv6Address]:
+        return list(self._credits)
+
+    def reward(self, host: IPv6Address, amount: float | None = None) -> None:
+        """+1 (or ``amount``) -- a packet this host relayed was ACKed."""
+        self._credits[host] = self.credit(host) + (
+            self.reward_amount if amount is None else amount
+        )
+        self.rewards_granted += 1
+
+    def reward_route(self, route: tuple[IPv6Address, ...]) -> None:
+        """Reward every intermediate host of an ACKed route."""
+        for hop in route:
+            self.reward(hop)
+
+    def penalize(self, host: IPv6Address) -> None:
+        """"Decreased by a very large amount" -- misbehaviour detected."""
+        self._credits[host] = self.credit(host) - self.penalty_amount
+        self.penalties_applied += 1
+
+    def is_suspect(self, host: IPv6Address) -> bool:
+        """Hosts with negative credit are treated as hostile."""
+        return self.credit(host) < 0.0
+
+    # -- RERR frequency tracking -----------------------------------------------
+    def record_rerr(self, reporter: IPv6Address, now: float) -> bool:
+        """Log a RERR from ``reporter``; True if its frequency is now suspicious.
+
+        The sliding window drops entries older than ``rerr_window``.
+        """
+        times = self._rerr_times[reporter]
+        times.append(now)
+        cutoff = now - self.rerr_window
+        while times and times[0] < cutoff:
+            times.popleft()
+        return len(times) >= self.rerr_threshold
+
+    def rerr_count(self, reporter: IPv6Address, now: float) -> int:
+        times = self._rerr_times.get(reporter)
+        if not times:
+            return 0
+        cutoff = now - self.rerr_window
+        return sum(1 for t in times if t >= cutoff)

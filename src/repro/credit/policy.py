@@ -1,0 +1,73 @@
+"""Credit-aware route selection.
+
+The paper: "In a highly hostile environment, S should try to choose a
+route in which all hosts exhibit high credits."  Two modes:
+
+* **normal** -- shortest route first, credit as tie-break; suspects
+  (negative credit) are always avoided when an alternative exists.
+* **hostile** -- credit score first (bottleneck or mean), length as
+  tie-break; routes containing suspects are excluded outright unless
+  nothing else exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.credit.manager import CreditManager
+from repro.ipv6.address import IPv6Address
+
+Route = tuple[IPv6Address, ...]
+
+
+@dataclass(frozen=True)
+class RoutePolicy:
+    """Route-choice knobs (mirrors the NodeConfig credit fields)."""
+
+    hostile_mode: bool = False
+    metric: str = "min"  # "min" (bottleneck credit) or "mean"
+
+    def __post_init__(self):
+        if self.metric not in ("min", "mean"):
+            raise ValueError(f"unknown credit metric {self.metric!r}")
+
+
+def route_score(credits: CreditManager, route: Route, metric: str = "min") -> float:
+    """Aggregate credit of a route's intermediate hops.
+
+    An empty route (destination is a neighbour) scores +inf: no relays,
+    nothing to distrust.
+    """
+    if not route:
+        return float("inf")
+    values = [credits.credit(h) for h in route]
+    if metric == "min":
+        return min(values)
+    return sum(values) / len(values)
+
+
+def has_suspect(credits: CreditManager, route: Route) -> bool:
+    return any(credits.is_suspect(h) for h in route)
+
+
+def select_route(
+    credits: CreditManager,
+    candidates: list[Route],
+    policy: RoutePolicy,
+) -> Route | None:
+    """Pick the best candidate route under the policy (None if empty).
+
+    Suspect-free candidates are always preferred; if every candidate
+    contains a suspect the least-bad one is returned (the paper keeps
+    the network usable rather than refusing to route).
+    """
+    if not candidates:
+        return None
+    clean = [r for r in candidates if not has_suspect(credits, r)]
+    pool = clean if clean else candidates
+
+    if policy.hostile_mode:
+        # Highest credit score, then shortest.
+        return max(pool, key=lambda r: (route_score(credits, r, policy.metric), -len(r)))
+    # Shortest, then highest credit score.
+    return min(pool, key=lambda r: (len(r), -route_score(credits, r, policy.metric)))

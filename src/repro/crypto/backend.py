@@ -1,0 +1,114 @@
+"""The :class:`CryptoBackend` interface and backend registry.
+
+The protocol layer is backend-agnostic: it calls ``sign``/``verify`` and
+``encode_public_key`` and never looks inside key material.  Experiments
+pick the backend per scenario -- real RSA for security-focused runs,
+simulated signatures for thousand-node sweeps -- without touching
+protocol code (ablation P3 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.crypto.keys import KeyPair, PrivateKey, PublicKey
+
+
+class SignatureInvalid(Exception):
+    """Raised by :meth:`CryptoBackend.verify_strict` on a bad signature."""
+
+
+class CryptoBackend(ABC):
+    """Abstract signature backend.
+
+    Implementations must be deterministic given their seed material so
+    that simulation runs reproduce exactly.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    # -- key management -------------------------------------------------
+    @abstractmethod
+    def generate_keypair(self, seed: bytes) -> KeyPair:
+        """Deterministically derive a key pair from ``seed``.
+
+        Determinism matters: node k in a seeded simulation always gets
+        the same keys, making failures reproducible.
+        """
+
+    @abstractmethod
+    def encode_public_key(self, key: PublicKey) -> bytes:
+        """Canonical byte encoding of a public key (feeds CGA hash + codec)."""
+
+    @abstractmethod
+    def decode_public_key(self, data: bytes) -> PublicKey:
+        """Inverse of :meth:`encode_public_key`."""
+
+    # -- signatures ------------------------------------------------------
+    @abstractmethod
+    def sign(self, private: PrivateKey, message: bytes) -> bytes:
+        """Produce ``[message]_SK`` -- the paper's private-key encryption."""
+
+    @abstractmethod
+    def verify(self, public: PublicKey, message: bytes, signature: bytes) -> bool:
+        """Check a signature; returns True/False, never raises."""
+
+    # -- bookkeeping -----------------------------------------------------
+    @abstractmethod
+    def signature_size(self) -> int:
+        """Size in bytes of an encoded signature (for overhead accounting)."""
+
+    @abstractmethod
+    def public_key_size(self) -> int:
+        """Size in bytes of an encoded public key."""
+
+    def op_cost(self, op: str) -> float:
+        """Simulated-time cost of a crypto op ('sign' / 'verify').
+
+        Zero by default: backends whose real CPU cost is paid in host
+        time (RSA) do not additionally charge simulated time unless a
+        scenario overrides this.  :class:`~repro.crypto.simsig.SimSigBackend`
+        overrides it to model the asymmetric-crypto delay it avoids paying.
+        """
+        if op not in ("sign", "verify"):
+            raise ValueError(f"unknown crypto op {op!r}")
+        return 0.0
+
+    # -- conveniences ------------------------------------------------------
+    def verify_strict(self, public: PublicKey, message: bytes, signature: bytes) -> None:
+        """Like :meth:`verify` but raises :class:`SignatureInvalid` on failure."""
+        if not self.verify(public, message, signature):
+            raise SignatureInvalid(
+                f"signature check failed under backend {self.name!r}"
+            )
+
+
+_REGISTRY: dict[str, CryptoBackend] = {}
+
+
+def register_backend(backend: CryptoBackend) -> None:
+    """Register (or replace) a backend instance under ``backend.name``."""
+    _REGISTRY[backend.name] = backend
+
+
+def get_backend(name: str) -> CryptoBackend:
+    """Look up a registered backend; lazily creates the built-in ones."""
+    if name not in _REGISTRY:
+        # Lazy import avoids a circular dependency at package import time.
+        if name == "rsa":
+            from repro.crypto.rsa import RSABackend
+
+            register_backend(RSABackend())
+        elif name == "simsig":
+            from repro.crypto.simsig import SimSigBackend
+
+            register_backend(SimSigBackend())
+        else:
+            raise KeyError(f"unknown crypto backend {name!r}")
+    return _REGISTRY[name]
+
+
+def available_backends() -> list[str]:
+    """Names of the built-in backends (registered or not)."""
+    return sorted(set(_REGISTRY) | {"rsa", "simsig"})

@@ -1,0 +1,69 @@
+"""Key-pair containers shared by all crypto backends.
+
+A :class:`PublicKey` is the object that travels inside protocol messages
+(``X_PK`` in Table 2); its :meth:`PublicKey.encode` form feeds both the
+codec and the CGA hash.  :class:`PrivateKey` never leaves the owning node
+-- the message codec refuses to serialise it, which is how the simulation
+enforces "an adversary cannot learn SK".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True)
+class PublicKey:
+    """A backend-tagged public key.
+
+    ``material`` is backend-specific (e.g. ``(n, e)`` for RSA, a 16-byte
+    identifier for simulated signatures).  Equality and hashing go through
+    the canonical encoding so keys can be used as dict keys.
+    """
+
+    backend: str
+    material: Any
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding, stable across runs; feeds H(PK, rn)."""
+        from repro.crypto.backend import get_backend
+
+        return get_backend(self.backend).encode_public_key(self)
+
+    def __hash__(self) -> int:
+        return hash((self.backend, self.encode()))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PublicKey):
+            return NotImplemented
+        return self.backend == other.backend and self.encode() == other.encode()
+
+    def __repr__(self) -> str:
+        return f"PublicKey({self.backend}, {self.encode().hex()[:16]}...)"
+
+
+@dataclass(frozen=True)
+class PrivateKey:
+    """A backend-tagged private key.  Never serialised, never transmitted."""
+
+    backend: str
+    material: Any = field(repr=False)
+
+    def __repr__(self) -> str:
+        return f"PrivateKey({self.backend}, <secret>)"
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A host's ``(PK, SK)`` pair."""
+
+    public: PublicKey
+    private: PrivateKey
+
+    @property
+    def backend(self) -> str:
+        return self.public.backend
+
+    def __repr__(self) -> str:
+        return f"KeyPair({self.public!r})"

@@ -1,0 +1,25 @@
+"""The DNS trust anchor (Section 3.2).
+
+The paper's single piece of security infrastructure: one DNS server
+whose public key every host knows before joining.  It provides
+
+* **name registration during DAD** -- the server watches flooded AREQs,
+  answers name conflicts with signed DREPs, and finalises first-come-
+  first-served registrations after a quiet window (6DNAR integration);
+* **pre-registered permanent entries** -- bindings installed before
+  network formation that online registration can never displace
+  (impersonating such hosts is impossible);
+* **secure resolution** -- challenge/response signed answers;
+* **authenticated IP change** -- the challenge/response exchange that
+  lets a binding move to a new CGA under the same key pair.
+
+:class:`~repro.dns.server.DNSServer` attaches to the server node;
+:class:`~repro.dns.client.DNSClient` to every host.
+"""
+
+from repro.dns.records import DNSRecord, DomainNameTable
+from repro.dns.server import DNSServer
+from repro.dns.client import DNSClient
+from repro.dns.secure_update import ChallengeLedger
+
+__all__ = ["DNSRecord", "DomainNameTable", "DNSServer", "DNSClient", "ChallengeLedger"]

@@ -1,0 +1,164 @@
+"""Client-side DNS: secure resolution and authenticated IP change.
+
+Requests travel as application messages over the routing layer to the
+well-known anycast address; every answer is verified against the
+pre-distributed DNS public key before the caller sees it, so a host
+impersonating the DNS (Section 4, first attack) can at worst cause a
+timeout, never a wrong answer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.node import Node
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.prefixes import DNS_ANYCAST_ADDRESSES
+from repro.messages import signing
+from repro.messages.codec import encode_message
+from repro.messages.data import DataPacket
+from repro.messages.dns import (
+    DNSQuery,
+    DNSResponse,
+    DNSUpdateChallenge,
+    DNSUpdateReply,
+    DNSUpdateRequest,
+)
+from repro.sim.process import Timer
+
+
+class DNSClient:
+    """Per-host resolver + IP-change client."""
+
+    def __init__(self, node: Node, server_address: IPv6Address | None = None):
+        self.node = node
+        self.cfg = node.config
+        self._rng = node.rng("dns-client")
+        self.server_address = server_address or DNS_ANYCAST_ADDRESSES[0]
+        # ch -> (name, callback, timer) for queries in flight
+        self._pending_queries: dict[int, tuple[str, Callable, Timer]] = {}
+        # name -> (new_ip_params, callback) for IP changes in flight
+        self._pending_updates: dict[str, tuple] = {}
+
+        node.register_app_handler(DNSResponse, self._on_response)
+        node.register_app_handler(DNSUpdateChallenge, self._on_update_challenge)
+        node.register_app_handler(DNSUpdateReply, self._on_update_reply)
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+    def resolve(
+        self,
+        name: str,
+        callback: Callable[[IPv6Address | None], None],
+        timeout: float = 10.0,
+    ) -> None:
+        """Resolve ``name``; ``callback(ip)`` gets None on miss or timeout.
+
+        The query carries a fresh challenge; only a response signed by
+        the DNS key *over that challenge* is accepted, so replayed old
+        answers (e.g. for a name whose binding has moved) are rejected.
+        """
+        ch = self._rng.nonce(64)
+        query = DNSQuery(sip=self.node.ip, domain_name=name, ch=ch)
+        timer = Timer(self.node.sim, self._query_timeout, ch)
+        timer.start(timeout)
+        self._pending_queries[ch] = (name, callback, timer)
+        self._send_app(query)
+
+    def _send_app(self, app_msg) -> None:
+        router = self.node.router
+        if router is None:
+            raise RuntimeError(f"{self.node.name}: no router attached")
+        router.send_data(self.server_address, encode_message(app_msg))
+
+    def _query_timeout(self, ch: int) -> None:
+        entry = self._pending_queries.pop(ch, None)
+        if entry is not None:
+            self.node.verdict("dns_client.query_timeout")
+            entry[1](None)
+
+    def _on_response(self, msg: DNSResponse, packet: DataPacket) -> None:
+        entry = self._pending_queries.get(msg.ch)
+        if entry is None:
+            return  # unsolicited or already answered
+        name, callback, timer = entry
+        dns_pk = self.node.ctx.dns_public_key
+        payload = signing.dns_response_payload(msg.domain_name, msg.ip, msg.ch)
+        if (
+            msg.domain_name != name
+            or dns_pk is None
+            or not self.node.verify(dns_pk, payload, msg.signature)
+        ):
+            self.node.verdict("dns_client.response_rejected")
+            return  # keep waiting; the timer handles a total failure
+        del self._pending_queries[msg.ch]
+        timer.cancel()
+        self.node.verdict("dns_client.response_accepted")
+        callback(msg.ip if msg.found else None)
+
+    # ------------------------------------------------------------------
+    # authenticated IP change (Section 3.2)
+    # ------------------------------------------------------------------
+    def change_ip(
+        self,
+        new_ip: IPv6Address,
+        new_rn: int,
+        callback: Callable[[bool], None] | None = None,
+    ) -> None:
+        """Move our DNS binding to ``new_ip`` (same key pair, new modifier).
+
+        Two-phase: an intent (empty signature) fetches a fresh server
+        challenge; the signed response presents old/new addresses, both
+        modifiers, the public key, and ``[XIP, X'IP, ch]_XSK``.
+        """
+        if not self.node.domain_name:
+            raise RuntimeError(f"{self.node.name}: no domain name registered")
+        name = self.node.domain_name
+        self._pending_updates[name] = (new_ip, new_rn, callback)
+        intent = DNSUpdateRequest(
+            domain_name=name,
+            old_ip=self.node.ip,
+            new_ip=new_ip,
+            old_rn=self.node.cga_params.rn,
+            new_rn=new_rn,
+            public_key=self.node.public_key,
+            signature=b"",  # phase 1: no challenge yet
+        )
+        self._send_app(intent)
+
+    def _on_update_challenge(self, msg: DNSUpdateChallenge, packet: DataPacket) -> None:
+        entry = self._pending_updates.get(msg.domain_name)
+        if entry is None:
+            return
+        new_ip, new_rn, _cb = entry
+        payload = signing.dns_update_payload(self.node.ip, new_ip, msg.ch)
+        signed = DNSUpdateRequest(
+            domain_name=msg.domain_name,
+            old_ip=self.node.ip,
+            new_ip=new_ip,
+            old_rn=self.node.cga_params.rn,
+            new_rn=new_rn,
+            public_key=self.node.public_key,
+            signature=self.node.sign(payload),
+        )
+        self._send_app(signed)
+
+    def _on_update_reply(self, msg: DNSUpdateReply, packet: DataPacket) -> None:
+        entry = self._pending_updates.pop(msg.domain_name, None)
+        if entry is None:
+            return
+        new_ip, new_rn, callback = entry
+        dns_pk = self.node.ctx.dns_public_key
+        payload = signing.dns_response_payload(msg.domain_name, msg.new_ip, msg.ch)
+        if dns_pk is None or not self.node.verify(dns_pk, payload, msg.signature):
+            self.node.verdict("dns_client.update_reply_rejected")
+            if callback:
+                callback(False)
+            return
+        self.node.verdict(
+            "dns_client.update_accepted" if msg.accepted
+            else "dns_client.update_refused"
+        )
+        if callback:
+            callback(msg.accepted)

@@ -1,0 +1,110 @@
+"""The DNS server's domain-name table.
+
+A :class:`DNSRecord` binds a name to an IP and -- crucially for the
+authenticated IP-change protocol -- remembers the public key and random
+modifier presented at registration time.  ``permanent`` entries are the
+paper's pre-established bindings: installed before network formation,
+never displaced by online (first-come-first-served) registration, and
+only changeable by the key holder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.keys import PublicKey
+from repro.ipv6.address import IPv6Address
+
+
+@dataclass
+class DNSRecord:
+    """One (domain name, IP) binding."""
+
+    name: str
+    ip: IPv6Address
+    #: Key material seen at registration; None for permanent entries
+    #: installed administratively without a key (key learned on first
+    #: authenticated update is not allowed -- see table.update_ip).
+    public_key: PublicKey | None
+    rn: int | None
+    permanent: bool
+    registered_at: float
+
+
+class DomainNameTable:
+    """Name -> record map with FCFS online registration semantics."""
+
+    def __init__(self):
+        self._by_name: dict[str, DNSRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def lookup(self, name: str) -> DNSRecord | None:
+        return self._by_name.get(name)
+
+    def lookup_ip(self, ip: IPv6Address) -> DNSRecord | None:
+        """Reverse lookup (first match)."""
+        for rec in self._by_name.values():
+            if rec.ip == ip:
+                return rec
+        return None
+
+    def names(self) -> list[str]:
+        return sorted(self._by_name)
+
+    def preregister(
+        self,
+        name: str,
+        ip: IPv6Address,
+        public_key: PublicKey | None = None,
+        rn: int | None = None,
+    ) -> DNSRecord:
+        """Install a permanent entry (pre-network-formation provisioning).
+
+        The paper: "an entry (domain name, IP address) should have been
+        placed at the DNS server before the network is formed.  In this
+        case, impersonating such hosts would be impossible."
+        """
+        if name in self._by_name:
+            raise ValueError(f"domain name {name!r} already present")
+        rec = DNSRecord(name, ip, public_key, rn, permanent=True, registered_at=0.0)
+        self._by_name[name] = rec
+        return rec
+
+    def register_online(
+        self,
+        name: str,
+        ip: IPv6Address,
+        public_key: PublicKey,
+        rn: int,
+        now: float,
+    ) -> DNSRecord | None:
+        """FCFS online registration; None if the name is already taken."""
+        if name in self._by_name:
+            return None
+        rec = DNSRecord(name, ip, public_key, rn, permanent=False, registered_at=now)
+        self._by_name[name] = rec
+        return rec
+
+    def conflicts(self, name: str, ip: IPv6Address) -> bool:
+        """True if ``name`` is bound to a *different* IP."""
+        rec = self._by_name.get(name)
+        return rec is not None and rec.ip != ip
+
+    def update_ip(self, name: str, new_ip: IPv6Address, new_rn: int) -> None:
+        """Move a binding to a new address (caller has already authenticated).
+
+        Only the IP and its modifier change; the key pair stays, exactly
+        as in Section 3.2 ("the host does not need to change to a new
+        key pair").
+        """
+        rec = self._by_name[name]
+        rec.ip = new_ip
+        rec.rn = new_rn
+
+    def remove(self, name: str) -> bool:
+        return self._by_name.pop(name, None) is not None

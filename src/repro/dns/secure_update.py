@@ -1,0 +1,91 @@
+"""Challenge bookkeeping for the DNS server.
+
+Two ledgers, both TTL-bounded exactly as the paper prescribes ("the DNS
+should keep a copy of the ch associated with the AREQ that registered
+with it for a while"):
+
+* the **registration ledger** tracks pending (DN, SIP) registrations
+  created by an observed AREQ, waiting out the quiet window during
+  which a duplicate-holder's warning AREP may cancel them;
+* the **update ledger** tracks challenges the server issued for
+  authenticated IP changes, consumed exactly once (a challenge that
+  could verify twice would be a replay vector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ipv6.address import IPv6Address
+
+
+@dataclass
+class PendingRegistration:
+    """An AREQ-initiated registration waiting out its quiet window."""
+
+    name: str
+    ip: IPv6Address
+    ch: int
+    created_at: float
+    cancelled: bool = False
+
+
+class ChallengeLedger:
+    """TTL-bounded challenge storage for the two server-side exchanges."""
+
+    def __init__(self, ttl: float = 10.0):
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = ttl
+        # (ip, ch) -> PendingRegistration
+        self._registrations: dict[tuple[IPv6Address, int], PendingRegistration] = {}
+        # domain name -> (ch, issued_at) for IP-change challenges
+        self._update_challenges: dict[str, tuple[int, float]] = {}
+
+    # -- registration ledger ------------------------------------------------
+    def open_registration(
+        self, name: str, ip: IPv6Address, ch: int, now: float
+    ) -> PendingRegistration:
+        pending = PendingRegistration(name, ip, ch, now)
+        self._registrations[(ip, ch)] = pending
+        return pending
+
+    def find_registration(
+        self, ip: IPv6Address, ch: int, now: float
+    ) -> PendingRegistration | None:
+        """Look up a pending registration by the AREQ's (SIP, ch) pair."""
+        self._expire(now)
+        return self._registrations.get((ip, ch))
+
+    def close_registration(self, ip: IPv6Address, ch: int) -> None:
+        self._registrations.pop((ip, ch), None)
+
+    def pending_count(self) -> int:
+        return len(self._registrations)
+
+    # -- IP-change ledger -------------------------------------------------------
+    def issue_update_challenge(self, name: str, ch: int, now: float) -> None:
+        self._update_challenges[name] = (ch, now)
+
+    def consume_update_challenge(self, name: str, now: float) -> int | None:
+        """Return-and-forget the challenge for ``name`` (None if absent/stale).
+
+        One-shot consumption: a second update presenting the same
+        signed challenge finds nothing to match and is rejected.
+        """
+        entry = self._update_challenges.pop(name, None)
+        if entry is None:
+            return None
+        ch, issued_at = entry
+        if now - issued_at > self.ttl:
+            return None
+        return ch
+
+    # -- housekeeping ---------------------------------------------------------------
+    def _expire(self, now: float) -> None:
+        doomed = [
+            k for k, p in self._registrations.items()
+            if now - p.created_at > self.ttl
+        ]
+        for k in doomed:
+            del self._registrations[k]

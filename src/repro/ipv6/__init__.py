@@ -1,0 +1,35 @@
+"""IPv6 addressing substrate.
+
+Implements exactly the slice of IPv6 the paper relies on:
+
+* 128-bit addresses with parse/format (:mod:`repro.ipv6.address`),
+* the site-local prefix layout of Figure 1 and the well-known DNS
+  anycast addresses (:mod:`repro.ipv6.prefixes`),
+* cryptographically generated addresses ``fec0::H(PK, rn)`` with
+  generation and ownership verification (:mod:`repro.ipv6.cga`).
+"""
+
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.prefixes import (
+    SITE_LOCAL_PREFIX,
+    DNS_ANYCAST_ADDRESSES,
+    UNSPECIFIED,
+    ALL_NODES_MULTICAST,
+    is_site_local,
+    site_local_from_interface_id,
+)
+from repro.ipv6.cga import CGAParams, generate_cga, verify_cga, cga_address
+
+__all__ = [
+    "IPv6Address",
+    "SITE_LOCAL_PREFIX",
+    "DNS_ANYCAST_ADDRESSES",
+    "UNSPECIFIED",
+    "ALL_NODES_MULTICAST",
+    "is_site_local",
+    "site_local_from_interface_id",
+    "CGAParams",
+    "generate_cga",
+    "verify_cga",
+    "cga_address",
+]

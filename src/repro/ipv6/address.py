@@ -1,0 +1,159 @@
+"""A 128-bit IPv6 address value type.
+
+Self-contained (no ``ipaddress`` dependency) so the codec, the CGA layer
+and the simulator share one immutable, hashable type with exactly the
+operations the protocol needs: bit-field access for the Figure 1 layout,
+RFC 5952-style compressed formatting for logs, and byte conversion for
+the wire codec.
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+
+_MAX = (1 << 128) - 1
+
+
+@total_ordering
+class IPv6Address:
+    """An immutable 128-bit IPv6 address.
+
+    Construct from an integer, 16 bytes, or a textual form::
+
+        IPv6Address("fec0::1")
+        IPv6Address(0xfec0 << 112 | 1)
+        IPv6Address(b"\\xfe\\xc0" + b"\\x00" * 13 + b"\\x01")
+    """
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: "int | bytes | str | IPv6Address"):
+        if isinstance(value, IPv6Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= _MAX:
+                raise ValueError("integer out of range for IPv6")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 16:
+                raise ValueError(f"IPv6 address needs 16 bytes, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            self._value = _parse(value)
+        else:
+            raise TypeError(f"cannot build IPv6Address from {type(value).__name__}")
+
+    # -- conversions ------------------------------------------------------
+    @property
+    def value(self) -> int:
+        return self._value
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(16, "big")
+
+    @property
+    def groups(self) -> tuple[int, ...]:
+        """The eight 16-bit groups, most significant first."""
+        v = self._value
+        return tuple((v >> shift) & 0xFFFF for shift in range(112, -16, -16))
+
+    # -- bit-field accessors for the Figure 1 layout ----------------------
+    def high_bits(self, n: int) -> int:
+        """The top ``n`` bits as an integer (prefix extraction)."""
+        if not 0 <= n <= 128:
+            raise ValueError("n must be in [0, 128]")
+        return self._value >> (128 - n) if n else 0
+
+    @property
+    def interface_id(self) -> int:
+        """The low 64 bits -- where H(PK, rn) lives for a CGA."""
+        return self._value & ((1 << 64) - 1)
+
+    @property
+    def subnet_id(self) -> int:
+        """Bits [48, 64) -- the 16-bit subnet ID field of Figure 1."""
+        return (self._value >> 64) & 0xFFFF
+
+    # -- dunder -----------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv6Address):
+            return self._value == other._value
+        return NotImplemented
+
+    def __lt__(self, other: "IPv6Address") -> bool:
+        if isinstance(other, IPv6Address):
+            return self._value < other._value
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __bytes__(self) -> bytes:
+        return self.packed
+
+    def __str__(self) -> str:
+        return _format(self.groups)
+
+    def __repr__(self) -> str:
+        return f"IPv6Address('{self}')"
+
+
+def _parse(text: str) -> int:
+    """Parse the standard textual forms, including ``::`` compression."""
+    text = text.strip().lower()
+    if not text:
+        raise ValueError("empty IPv6 address")
+    if text.count("::") > 1:
+        raise ValueError(f"more than one '::' in {text!r}")
+
+    def parse_groups(part: str) -> list[int]:
+        if not part:
+            return []
+        groups = []
+        for g in part.split(":"):
+            if not g or len(g) > 4:
+                raise ValueError(f"bad group {g!r} in {text!r}")
+            groups.append(int(g, 16))
+        return groups
+
+    if "::" in text:
+        head, tail = text.split("::")
+        hi, lo = parse_groups(head), parse_groups(tail)
+        missing = 8 - len(hi) - len(lo)
+        if missing < 1:
+            raise ValueError(f"'::' expands to nothing in {text!r}")
+        groups = hi + [0] * missing + lo
+    else:
+        groups = parse_groups(text)
+        if len(groups) != 8:
+            raise ValueError(f"expected 8 groups in {text!r}, got {len(groups)}")
+
+    value = 0
+    for g in groups:
+        value = (value << 16) | g
+    return value
+
+
+def _format(groups: tuple[int, ...]) -> str:
+    """RFC 5952 formatting: compress the longest run of zero groups (>= 2)."""
+    best_start, best_len = -1, 0
+    i = 0
+    while i < 8:
+        if groups[i] == 0:
+            j = i
+            while j < 8 and groups[j] == 0:
+                j += 1
+            if j - i > best_len:
+                best_start, best_len = i, j - i
+            i = j
+        else:
+            i += 1
+    if best_len < 2:
+        return ":".join(f"{g:x}" for g in groups)
+    head = ":".join(f"{g:x}" for g in groups[:best_start])
+    tail = ":".join(f"{g:x}" for g in groups[best_start + best_len:])
+    return f"{head}::{tail}"

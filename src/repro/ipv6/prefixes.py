@@ -1,0 +1,76 @@
+"""Well-known prefixes and the Figure 1 site-local layout.
+
+Figure 1 of the paper splits a site-local MANET address into four fields::
+
+    | 10 bits          | 38 bits   | 16 bits   | 64 bits        |
+    | 1111 1110 11     | all zero  | subnet ID | H(PK, rn)      |
+    (site-local prefix fec0::/10)
+
+The subnet ID "makes no sense for a MANET" and is fixed to zero, so every
+host address is ``fec0::H(PK, rn)``.  The three RFC-reserved site-local
+DNS anycast addresses (draft-ietf-ipv6-dns-discovery) are also defined
+here; the DNS server answers on all of them.
+"""
+
+from __future__ import annotations
+
+from repro.ipv6.address import IPv6Address
+
+#: fec0::/10 -- the 10-bit site-local prefix value (1111111011 binary).
+SITE_LOCAL_PREFIX_BITS = 0b1111111011
+SITE_LOCAL_PREFIX_LEN = 10
+
+#: The full /128 with only the prefix set, i.e. fec0::
+SITE_LOCAL_PREFIX = IPv6Address(SITE_LOCAL_PREFIX_BITS << 118)
+
+#: Unspecified address (::), used as the IP source before DAD completes.
+UNSPECIFIED = IPv6Address(0)
+
+#: Simulator-level broadcast destination (stands in for ff02::1 flooding).
+ALL_NODES_MULTICAST = IPv6Address("ff02::1")
+
+#: The three well-known site-local DNS server anycast addresses
+#: (fec0:0:0:ffff::1..3) from IPv6 stateless DNS discovery.
+DNS_ANYCAST_ADDRESSES = (
+    IPv6Address("fec0:0:0:ffff::1"),
+    IPv6Address("fec0:0:0:ffff::2"),
+    IPv6Address("fec0:0:0:ffff::3"),
+)
+
+_INTERFACE_ID_MASK = (1 << 64) - 1
+
+
+def is_site_local(addr: IPv6Address) -> bool:
+    """True iff ``addr`` is under fec0::/10."""
+    return addr.high_bits(SITE_LOCAL_PREFIX_LEN) == SITE_LOCAL_PREFIX_BITS
+
+
+def is_dns_anycast(addr: IPv6Address) -> bool:
+    """True iff ``addr`` is one of the well-known DNS discovery addresses."""
+    return addr in DNS_ANYCAST_ADDRESSES
+
+
+def site_local_from_interface_id(interface_id: int, subnet_id: int = 0) -> IPv6Address:
+    """Assemble a Figure 1 address from its fields.
+
+    Parameters
+    ----------
+    interface_id:
+        The 64-bit ``H(PK, rn)`` value.
+    subnet_id:
+        The 16-bit subnet field; 0 for MANET hosts, may be set by a
+        gateway when bridging to the Internet (per the paper).
+    """
+    if not 0 <= interface_id <= _INTERFACE_ID_MASK:
+        raise ValueError("interface_id must be a 64-bit unsigned integer")
+    if not 0 <= subnet_id <= 0xFFFF:
+        raise ValueError("subnet_id must be a 16-bit unsigned integer")
+    value = (SITE_LOCAL_PREFIX_BITS << 118) | (subnet_id << 64) | interface_id
+    return IPv6Address(value)
+
+
+def split_fields(addr: IPv6Address) -> tuple[int, int, int, int]:
+    """Decompose an address into Figure 1's (prefix, zeros, subnet, iface) fields."""
+    prefix = addr.high_bits(10)
+    zeros = (addr.value >> 80) & ((1 << 38) - 1)
+    return prefix, zeros, addr.subnet_id, addr.interface_id

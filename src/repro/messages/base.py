@@ -1,0 +1,175 @@
+"""Message base class and binary field primitives.
+
+A :class:`Message` is an immutable record; mutation patterns like
+"append my identity to the route record and rebroadcast" produce new
+objects (``dataclasses.replace`` under the hood), which prevents an
+intermediate node from accidentally sharing state with queued copies of
+the same flood.
+
+:class:`Writer`/:class:`Reader` are tiny big-endian binary builders used
+by the codec; keeping them here lets message modules define their own
+``_encode_fields``/``_decode_fields`` without importing the codec
+(avoiding a cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import ClassVar
+
+from repro.crypto.backend import get_backend
+from repro.crypto.keys import PublicKey
+from repro.ipv6.address import IPv6Address
+
+
+class CodecError(ValueError):
+    """Raised on malformed wire data."""
+
+
+@dataclass(frozen=True)
+class MessageMeta:
+    """Per-type metadata used by the codec registry and Table 1 printer."""
+
+    type_id: int
+    name: str
+    function: str  # the "Function" column of Table 1
+    parameters: str  # the "Parameters" column of Table 1, paper notation
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of every protocol message.
+
+    Subclasses set ``META`` and implement ``_encode_fields``/
+    ``_decode_fields``.  ``hop_limit`` is a simulator-level TTL shared by
+    all messages (IPv6 hop limit); it is intentionally *not* covered by
+    any signature, exactly as in real IP.
+    """
+
+    META: ClassVar[MessageMeta]
+
+    def replace(self, **changes) -> "Message":
+        """Functional update (fields are immutable)."""
+        return replace(self, **changes)
+
+    def summary(self) -> str:
+        """One-line human-readable form for traces."""
+        parts = []
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if isinstance(v, bytes):
+                v = v.hex()[:12] + ".."
+            elif isinstance(v, (list, tuple)) and len(repr(v)) > 40:
+                v = f"<{len(v)} items>"
+            parts.append(f"{f.name}={v}")
+        return f"{self.META.name}({', '.join(parts)})"
+
+    # Subclass API -------------------------------------------------------
+    def _encode_fields(self, w: "Writer") -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def _decode_fields(cls, r: "Reader") -> "Message":
+        raise NotImplementedError
+
+
+class Writer:
+    """Append-only big-endian binary builder."""
+
+    __slots__ = ("_chunks",)
+
+    def __init__(self):
+        self._chunks: list[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self._chunks.append(v.to_bytes(1, "big"))
+
+    def u16(self, v: int) -> None:
+        self._chunks.append(v.to_bytes(2, "big"))
+
+    def u32(self, v: int) -> None:
+        self._chunks.append(v.to_bytes(4, "big"))
+
+    def u64(self, v: int) -> None:
+        self._chunks.append(v.to_bytes(8, "big"))
+
+    def raw(self, b: bytes) -> None:
+        self._chunks.append(b)
+
+    def blob(self, b: bytes) -> None:
+        """Length-prefixed (u16) byte string."""
+        if len(b) > 0xFFFF:
+            raise CodecError(f"blob too long ({len(b)} bytes)")
+        self.u16(len(b))
+        self.raw(b)
+
+    def text(self, s: str) -> None:
+        """Length-prefixed UTF-8 string (domain names)."""
+        self.blob(s.encode("utf-8"))
+
+    def address(self, a: IPv6Address) -> None:
+        self.raw(a.packed)
+
+    def public_key(self, k: PublicKey) -> None:
+        """Backend-name-tagged public key."""
+        self.text(k.backend)
+        self.blob(k.encode())
+
+    def getvalue(self) -> bytes:
+        return b"".join(self._chunks)
+
+
+class Reader:
+    """Sequential big-endian binary reader with bounds checking."""
+
+    __slots__ = ("_data", "_pos")
+
+    def __init__(self, data: bytes):
+        self._data = data
+        self._pos = 0
+
+    def _take(self, n: int) -> bytes:
+        if self._pos + n > len(self._data):
+            raise CodecError(
+                f"truncated message: wanted {n} bytes at offset {self._pos}, "
+                f"have {len(self._data) - self._pos}"
+            )
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return int.from_bytes(self._take(2), "big")
+
+    def u32(self) -> int:
+        return int.from_bytes(self._take(4), "big")
+
+    def u64(self) -> int:
+        return int.from_bytes(self._take(8), "big")
+
+    def blob(self) -> bytes:
+        return self._take(self.u16())
+
+    def text(self) -> str:
+        return self.blob().decode("utf-8")
+
+    def address(self) -> IPv6Address:
+        return IPv6Address(self._take(16))
+
+    def public_key(self) -> PublicKey:
+        backend_name = self.text()
+        key_bytes = self.blob()
+        return get_backend(backend_name).decode_public_key(key_bytes)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos == len(self._data)
+
+    def expect_exhausted(self) -> None:
+        if not self.exhausted:
+            raise CodecError(
+                f"{len(self._data) - self._pos} trailing bytes after message"
+            )

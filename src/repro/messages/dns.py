@@ -1,0 +1,208 @@
+"""DNS service messages (Section 3.2).
+
+Name resolution is challenge/response: the client includes a random
+``ch`` in its query and the server's signed answer covers ``(DN, IP,
+ch)``, so replaying an old response for a name whose binding has since
+changed is rejected.  The IP-change exchange follows the paper exactly:
+DNS issues a challenge; the holder presents old IP, new IP, both random
+modifiers, its public key, and ``[XIP, X'IP, ch]_XSK``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.crypto.keys import PublicKey
+from repro.ipv6.address import IPv6Address
+from repro.messages.base import Message, MessageMeta, Reader, Writer
+
+
+def _encode_route(w: Writer, route: tuple[IPv6Address, ...]) -> None:
+    w.u16(len(route))
+    for hop in route:
+        w.address(hop)
+
+
+def _decode_route(r: Reader) -> tuple[IPv6Address, ...]:
+    return tuple(r.address() for _ in range(r.u16()))
+
+
+@dataclass(frozen=True)
+class DNSQuery(Message):
+    """Resolve ``domain_name``; ``ch`` is the client's anti-replay challenge."""
+
+    META: ClassVar[MessageMeta] = MessageMeta(
+        type_id=40,
+        name="DNSQ",
+        function="DNS name resolution query",
+        parameters="(SIP, DN, ch)",
+    )
+
+    sip: IPv6Address
+    domain_name: str
+    ch: int
+    hop_limit: int = 64
+
+    def _encode_fields(self, w: Writer) -> None:
+        w.address(self.sip)
+        w.text(self.domain_name)
+        w.u64(self.ch)
+        w.u8(self.hop_limit)
+
+    @classmethod
+    def _decode_fields(cls, r: Reader) -> "DNSQuery":
+        return cls(sip=r.address(), domain_name=r.text(), ch=r.u64(), hop_limit=r.u8())
+
+
+@dataclass(frozen=True)
+class DNSResponse(Message):
+    """Signed answer: (DN, IP, ch) under the DNS server's key.
+
+    ``found`` is False for NXDOMAIN (still signed, so an attacker cannot
+    deny a name's existence by forging negatives).
+    """
+
+    META: ClassVar[MessageMeta] = MessageMeta(
+        type_id=41,
+        name="DNSR",
+        function="DNS name resolution response",
+        parameters="(DN, IP, found, [DN, IP, ch]NSK)",
+    )
+
+    domain_name: str
+    ip: IPv6Address
+    found: bool
+    ch: int
+    signature: bytes
+    hop_limit: int = 64
+
+    def _encode_fields(self, w: Writer) -> None:
+        w.text(self.domain_name)
+        w.address(self.ip)
+        w.u8(1 if self.found else 0)
+        w.u64(self.ch)
+        w.blob(self.signature)
+        w.u8(self.hop_limit)
+
+    @classmethod
+    def _decode_fields(cls, r: Reader) -> "DNSResponse":
+        return cls(
+            domain_name=r.text(),
+            ip=r.address(),
+            found=bool(r.u8()),
+            ch=r.u64(),
+            signature=r.blob(),
+            hop_limit=r.u8(),
+        )
+
+
+@dataclass(frozen=True)
+class DNSUpdateChallenge(Message):
+    """DNS -> holder: "prove you own the binding" (carries the server's ch)."""
+
+    META: ClassVar[MessageMeta] = MessageMeta(
+        type_id=42,
+        name="DNSUC",
+        function="DNS IP-change challenge",
+        parameters="(DN, ch)",
+    )
+
+    domain_name: str
+    ch: int
+    hop_limit: int = 64
+
+    def _encode_fields(self, w: Writer) -> None:
+        w.text(self.domain_name)
+        w.u64(self.ch)
+        w.u8(self.hop_limit)
+
+    @classmethod
+    def _decode_fields(cls, r: Reader) -> "DNSUpdateChallenge":
+        return cls(domain_name=r.text(), ch=r.u64(), hop_limit=r.u8())
+
+
+@dataclass(frozen=True)
+class DNSUpdateRequest(Message):
+    """Holder -> DNS: the authenticated IP change of Section 3.2.
+
+    Presents ``XIP`` (old), ``X'IP`` (new), both random modifiers, the
+    (unchanged) public key, and ``[XIP, X'IP, ch]_XSK``.
+    """
+
+    META: ClassVar[MessageMeta] = MessageMeta(
+        type_id=43,
+        name="DNSU",
+        function="DNS authenticated IP change",
+        parameters="(DN, XIP, X'IP, Xrn, X'rn, XPK, [XIP, X'IP, ch]XSK)",
+    )
+
+    domain_name: str
+    old_ip: IPv6Address
+    new_ip: IPv6Address
+    old_rn: int
+    new_rn: int
+    public_key: PublicKey
+    signature: bytes
+    hop_limit: int = 64
+
+    def _encode_fields(self, w: Writer) -> None:
+        w.text(self.domain_name)
+        w.address(self.old_ip)
+        w.address(self.new_ip)
+        w.u64(self.old_rn)
+        w.u64(self.new_rn)
+        w.public_key(self.public_key)
+        w.blob(self.signature)
+        w.u8(self.hop_limit)
+
+    @classmethod
+    def _decode_fields(cls, r: Reader) -> "DNSUpdateRequest":
+        return cls(
+            domain_name=r.text(),
+            old_ip=r.address(),
+            new_ip=r.address(),
+            old_rn=r.u64(),
+            new_rn=r.u64(),
+            public_key=r.public_key(),
+            signature=r.blob(),
+            hop_limit=r.u8(),
+        )
+
+
+@dataclass(frozen=True)
+class DNSUpdateReply(Message):
+    """DNS -> holder: signed accept/reject of an IP change."""
+
+    META: ClassVar[MessageMeta] = MessageMeta(
+        type_id=44,
+        name="DNSUR",
+        function="DNS IP-change result",
+        parameters="(DN, new IP, accepted, [DN, IP, ch]NSK)",
+    )
+
+    domain_name: str
+    new_ip: IPv6Address
+    accepted: bool
+    ch: int
+    signature: bytes
+    hop_limit: int = 64
+
+    def _encode_fields(self, w: Writer) -> None:
+        w.text(self.domain_name)
+        w.address(self.new_ip)
+        w.u8(1 if self.accepted else 0)
+        w.u64(self.ch)
+        w.blob(self.signature)
+        w.u8(self.hop_limit)
+
+    @classmethod
+    def _decode_fields(cls, r: Reader) -> "DNSUpdateReply":
+        return cls(
+            domain_name=r.text(),
+            new_ip=r.address(),
+            accepted=bool(r.u8()),
+            ch=r.u64(),
+            signature=r.blob(),
+            hop_limit=r.u8(),
+        )

@@ -1,0 +1,24 @@
+"""Measurement plumbing.
+
+One :class:`~repro.metrics.collector.MetricsCollector` per scenario;
+nodes and protocol components report events into it and the benchmark
+harness reads aggregated views out of
+:mod:`repro.metrics.reports`.
+"""
+
+from repro.metrics.collector import MetricsCollector, FlowStats
+from repro.metrics.reports import (
+    delivery_report,
+    overhead_report,
+    security_report,
+    format_table,
+)
+
+__all__ = [
+    "MetricsCollector",
+    "FlowStats",
+    "delivery_report",
+    "overhead_report",
+    "security_report",
+    "format_table",
+]

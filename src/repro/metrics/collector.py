@@ -1,0 +1,162 @@
+"""The scenario-wide metrics collector.
+
+Counts are grouped into small orthogonal families so experiments can
+read exactly what they need:
+
+* per-message-type send/receive counts and bytes (control overhead),
+* per-flow data delivery (PDR, end-to-end latency),
+* security verdicts (messages accepted/rejected and why),
+* crypto operation counts,
+* bootstrap outcomes (DAD rounds, collisions detected, time to address).
+
+The collector is deliberately passive -- plain counters, no simulation
+side effects -- so attaching it never perturbs a run.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.ipv6.address import IPv6Address
+
+
+@dataclass
+class FlowStats:
+    """Delivery bookkeeping for one (src, dst) data flow."""
+
+    sent: int = 0
+    delivered: int = 0
+    acked: int = 0
+    dropped: int = 0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def pdr(self) -> float:
+        """Packet delivery ratio; 0 when nothing was sent."""
+        return self.delivered / self.sent if self.sent else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        return sum(self.latencies) / len(self.latencies) if self.latencies else 0.0
+
+
+class MetricsCollector:
+    """Scenario-wide event sink.  See module docstring for the families."""
+
+    def __init__(self):
+        # message-type name -> counters
+        self.msgs_sent: dict[str, int] = defaultdict(int)
+        self.msgs_received: dict[str, int] = defaultdict(int)
+        self.bytes_sent: dict[str, int] = defaultdict(int)
+        # (src, dst) -> FlowStats
+        self.flows: dict[tuple[IPv6Address, IPv6Address], FlowStats] = defaultdict(FlowStats)
+        # security verdict -> count;  verdict strings are dotted, e.g.
+        # "rrep.rejected.bad_signature", "arep.accepted"
+        self.verdicts: dict[str, int] = defaultdict(int)
+        # crypto op counts per backend
+        self.crypto_ops: dict[str, int] = defaultdict(int)
+        # bootstrap outcomes
+        self.dad_rounds: dict[str, int] = defaultdict(int)  # node name -> rounds
+        self.dad_time: dict[str, float] = {}  # node name -> seconds to final addr
+        self.collisions_detected = 0
+        self.name_conflicts_detected = 0
+        # route discovery
+        self.discoveries_started = 0
+        self.discoveries_succeeded = 0
+        self.discovery_latencies: list[float] = []
+        self.creps_used = 0
+        self.rerrs_received = 0
+
+    # -- message accounting ------------------------------------------------
+    def on_send(self, msg_name: str, size: int) -> None:
+        self.msgs_sent[msg_name] += 1
+        self.bytes_sent[msg_name] += size
+
+    def on_receive(self, msg_name: str) -> None:
+        self.msgs_received[msg_name] += 1
+
+    def control_bytes(self) -> int:
+        """Total control-plane bytes (everything except DATA payload carriers)."""
+        return sum(v for k, v in self.bytes_sent.items() if k != "DATA")
+
+    def control_messages(self) -> int:
+        return sum(v for k, v in self.msgs_sent.items() if k != "DATA")
+
+    # -- data plane ----------------------------------------------------------
+    def on_data_sent(self, src: IPv6Address, dst: IPv6Address) -> None:
+        self.flows[(src, dst)].sent += 1
+
+    def on_data_delivered(self, src: IPv6Address, dst: IPv6Address, latency: float) -> None:
+        st = self.flows[(src, dst)]
+        st.delivered += 1
+        st.latencies.append(latency)
+
+    def on_data_acked(self, src: IPv6Address, dst: IPv6Address) -> None:
+        self.flows[(src, dst)].acked += 1
+
+    def on_data_dropped(self, src: IPv6Address, dst: IPv6Address) -> None:
+        self.flows[(src, dst)].dropped += 1
+
+    def delivered(self, src: IPv6Address, dst: IPv6Address) -> int:
+        return self.flows[(src, dst)].delivered
+
+    def pdr(self, src: IPv6Address | None = None, dst: IPv6Address | None = None) -> float:
+        """PDR of one flow, or aggregate over all flows."""
+        if src is not None and dst is not None:
+            return self.flows[(src, dst)].pdr
+        sent = sum(f.sent for f in self.flows.values())
+        delivered = sum(f.delivered for f in self.flows.values())
+        return delivered / sent if sent else 0.0
+
+    # -- security ------------------------------------------------------------
+    def on_verdict(self, verdict: str) -> None:
+        self.verdicts[verdict] += 1
+
+    def accepted(self, msg: str) -> int:
+        return self.verdicts[f"{msg}.accepted"]
+
+    def rejected(self, msg: str) -> int:
+        """All rejections of a message kind, summed over reasons."""
+        prefix = f"{msg}.rejected"
+        return sum(v for k, v in self.verdicts.items() if k.startswith(prefix))
+
+    # -- crypto ----------------------------------------------------------------
+    def on_crypto(self, backend: str, op: str) -> None:
+        self.crypto_ops[f"{backend}.{op}"] += 1
+
+    def crypto_total(self, op: str | None = None) -> int:
+        if op is None:
+            return sum(self.crypto_ops.values())
+        return sum(v for k, v in self.crypto_ops.items() if k.endswith(f".{op}"))
+
+    # -- bootstrap ----------------------------------------------------------------
+    def on_dad_round(self, node_name: str) -> None:
+        self.dad_rounds[node_name] += 1
+
+    def on_address_configured(self, node_name: str, elapsed: float) -> None:
+        self.dad_time[node_name] = elapsed
+
+    def on_collision_detected(self) -> None:
+        self.collisions_detected += 1
+
+    def on_name_conflict(self) -> None:
+        self.name_conflicts_detected += 1
+
+    # -- route discovery -------------------------------------------------------
+    def on_discovery_started(self) -> None:
+        self.discoveries_started += 1
+
+    def on_discovery_succeeded(self, latency: float, via_crep: bool = False) -> None:
+        self.discoveries_succeeded += 1
+        self.discovery_latencies.append(latency)
+        if via_crep:
+            self.creps_used += 1
+
+    def on_rerr(self) -> None:
+        self.rerrs_received += 1
+
+    @property
+    def mean_discovery_latency(self) -> float:
+        lat = self.discovery_latencies
+        return sum(lat) / len(lat) if lat else 0.0

@@ -1,0 +1,73 @@
+"""Aggregated report views over a :class:`MetricsCollector`.
+
+The benchmark harness prints these; they are also handy interactively.
+``format_table`` renders the same fixed-width ASCII tables used in
+EXPERIMENTS.md, so documented results and rerun output line up exactly.
+"""
+
+from __future__ import annotations
+
+from repro.metrics.collector import MetricsCollector
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Fixed-width ASCII table; every cell stringified."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def delivery_report(metrics: MetricsCollector) -> str:
+    """Per-flow PDR / latency table."""
+    rows = []
+    for (src, dst), st in sorted(metrics.flows.items(), key=lambda kv: str(kv[0])):
+        rows.append([
+            str(src), str(dst), st.sent, st.delivered,
+            f"{st.pdr:.3f}", f"{st.mean_latency * 1e3:.2f} ms",
+        ])
+    return format_table(
+        ["src", "dst", "sent", "delivered", "PDR", "mean latency"],
+        rows,
+        title="Data delivery",
+    )
+
+
+def overhead_report(metrics: MetricsCollector) -> str:
+    """Control-message counts and byte overhead by type."""
+    rows = []
+    for name in sorted(set(metrics.msgs_sent) | set(metrics.msgs_received)):
+        rows.append([
+            name,
+            metrics.msgs_sent.get(name, 0),
+            metrics.msgs_received.get(name, 0),
+            metrics.bytes_sent.get(name, 0),
+        ])
+    rows.append(["(control total)", metrics.control_messages(), "", metrics.control_bytes()])
+    return format_table(
+        ["message", "sent", "received", "bytes sent"],
+        rows,
+        title="Control overhead",
+    )
+
+
+def security_report(metrics: MetricsCollector) -> str:
+    """Accept/reject verdicts, grouped by message kind and reason."""
+    rows = [[k, v] for k, v in sorted(metrics.verdicts.items())]
+    return format_table(["verdict", "count"], rows, title="Security verdicts")
+
+
+def crypto_report(metrics: MetricsCollector) -> str:
+    rows = [[k, v] for k, v in sorted(metrics.crypto_ops.items())]
+    rows.append(["(total)", metrics.crypto_total()])
+    return format_table(["backend.op", "count"], rows, title="Crypto operations")

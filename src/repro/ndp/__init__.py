@@ -1,0 +1,13 @@
+"""One-hop Neighbor Discovery DAD (RFC 2461) -- the baseline mechanism.
+
+Kept for comparison: Section 2.2 of the paper explains why plain NS/NA
+DAD is *insufficient* in a multi-hop MANET (identical addresses several
+hops apart never hear each other's probes).  The
+``test_fig2_secure_dad`` benchmark demonstrates this quantitatively:
+one-hop DAD misses a 3-hop-away duplicate that the extended AREQ/AREP
+procedure catches.
+"""
+
+from repro.ndp.neighbor_discovery import OneHopDAD
+
+__all__ = ["OneHopDAD"]

@@ -1,0 +1,80 @@
+"""RFC 2461-style one-hop duplicate address detection.
+
+A joiner broadcasts a Neighbor Solicitation for its tentative address;
+any *direct neighbour* already holding the address answers with a
+Neighbor Advertisement, forcing a retry.  No crypto, no multi-hop reach
+-- this component exists to demonstrate the gap the paper's extended
+DAD closes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.node import Node
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.cga import generate_cga
+from repro.messages.ndp import NeighborAdvertisement, NeighborSolicitation
+from repro.phy.medium import Frame
+from repro.sim.process import Timer
+
+
+class OneHopDAD:
+    """Plain NS/NA duplicate address detection (single hop)."""
+
+    def __init__(self, node: Node, timeout: float = 1.0, max_retries: int = 8):
+        self.node = node
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self._rng = node.rng("ndp")
+        self.state = "idle"
+        self.tentative_ip: IPv6Address | None = None
+        self._tentative_params = None
+        self.round = 0
+        self._timer = Timer(node.sim, self._timeout_fired)
+        self.on_configured: list[Callable[[Node], None]] = []
+        node.register_handler(NeighborSolicitation, self._on_ns)
+        node.register_handler(NeighborAdvertisement, self._on_na)
+
+    def start(self, domain_name: str = "") -> None:
+        """Run one-hop DAD for a fresh CGA (name option carried but unchecked)."""
+        self.state = "probing"
+        self.round = 0
+        self._domain_name = domain_name
+        self._probe()
+
+    def _probe(self) -> None:
+        self.round += 1
+        if self.round > self.max_retries:
+            self.state = "failed"
+            return
+        self.tentative_ip, self._tentative_params = generate_cga(
+            self.node.public_key, self._rng
+        )
+        self.node.broadcast(
+            NeighborSolicitation(target=self.tentative_ip, domain_name=self._domain_name),
+            claimed_src=self.tentative_ip,
+        )
+        self._timer.start(self.timeout)
+
+    def _timeout_fired(self) -> None:
+        if self.state != "probing":
+            return
+        self.state = "configured"
+        self.node.adopt_identity(self.tentative_ip, self._tentative_params)
+        self.node.domain_name = self._domain_name
+        for cb in self.on_configured:
+            cb(self.node)
+
+    def _on_ns(self, frame: Frame, msg: NeighborSolicitation) -> None:
+        # Defend our address -- but only if we *hear* the probe (one hop!).
+        if self.node.configured and msg.target == self.node.ip:
+            self.node.broadcast(
+                NeighborAdvertisement(target=self.node.ip, domain_name=self.node.domain_name)
+            )
+
+    def _on_na(self, frame: Frame, msg: NeighborAdvertisement) -> None:
+        if self.state == "probing" and msg.target == self.tentative_ip:
+            # Unverifiable claim (no CGA/signature here): retry regardless.
+            self._timer.cancel()
+            self._probe()

@@ -1,0 +1,275 @@
+"""The shared wireless medium.
+
+Unit-disk connectivity: two radios hear each other iff their Euclidean
+distance is at most ``radio_range``.  Delivery latency is
+
+    ``tx_delay(size) + propagation(distance) + proc_delay``
+
+with ``tx_delay = size * 8 / bitrate``.  Each (frame, receiver) pair
+draws independent Bernoulli loss.  Unicast frames emulate an 802.11-like
+MAC: up to ``mac_retries`` retransmissions, then a failure callback --
+which is exactly the "link broken" signal DSR route maintenance needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.ipv6.address import IPv6Address
+from repro.sim.kernel import Simulator
+
+#: Destination pseudo-link-id for broadcast frames.
+BROADCAST_LINK = -1
+
+_SPEED_OF_LIGHT = 299_792_458.0
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A link-layer frame.
+
+    ``src_ip`` is the *claimed* network-layer source -- unauthenticated,
+    like a MAC header; receivers use it to maintain IP -> link-id
+    neighbour caches.  ``payload`` is a protocol Message object;
+    ``size`` its wire size in bytes (precomputed by the sender so the
+    medium never needs to re-encode).
+    """
+
+    src_link: int
+    dst_link: int  # BROADCAST_LINK for floods
+    src_ip: IPv6Address
+    payload: Any
+    size: int
+
+
+@dataclass
+class RadioHandle:
+    """One node's attachment to the medium."""
+
+    link_id: int
+    position: tuple[float, float]
+    deliver: Callable[[Frame], None]
+    enabled: bool = True
+    #: Counters for overhead accounting.
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_received: int = 0
+    bytes_received: int = 0
+
+
+class WirelessMedium:
+    """Broadcast medium with unit-disk connectivity.
+
+    Parameters
+    ----------
+    sim:
+        The simulation kernel (all deliveries are scheduled events).
+    radio_range:
+        Unit-disk radius in metres.
+    bitrate:
+        Link bitrate in bits/s (default 2 Mb/s: 802.11 classic, the
+        paper's era).
+    loss_rate:
+        Independent per-(frame, receiver) Bernoulli loss probability.
+    proc_delay:
+        Fixed per-hop processing delay in seconds.
+    mac_retries:
+        Unicast retransmission budget before reporting link failure.
+    ack_timeout:
+        Per-attempt wait before a retry / failure verdict.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        radio_range: float = 250.0,
+        bitrate: float = 2e6,
+        loss_rate: float = 0.0,
+        proc_delay: float = 1e-4,
+        mac_retries: int = 3,
+        ack_timeout: float = 5e-3,
+    ):
+        if radio_range <= 0:
+            raise ValueError("radio_range must be positive")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.sim = sim
+        self.radio_range = radio_range
+        self.bitrate = bitrate
+        self.loss_rate = loss_rate
+        self.proc_delay = proc_delay
+        self.mac_retries = mac_retries
+        self.ack_timeout = ack_timeout
+        self._radios: dict[int, RadioHandle] = {}
+        #: Radios that receive copies of *unicast* frames they can overhear
+        #: (802.11 monitor mode; used by eavesdropping adversaries).
+        self._promiscuous: set[int] = set()
+        self._next_link_id = 0
+        self._rng = sim.rng("phy/loss")
+        # Medium-wide counters.
+        self.total_frames = 0
+        self.total_bytes = 0
+        self.dropped_frames = 0
+
+    # -- attachment ------------------------------------------------------
+    def attach(
+        self,
+        position: tuple[float, float],
+        deliver: Callable[[Frame], None],
+    ) -> RadioHandle:
+        """Join the medium at ``position``; returns this radio's handle."""
+        handle = RadioHandle(self._next_link_id, tuple(position), deliver)
+        self._radios[handle.link_id] = handle
+        self._next_link_id += 1
+        return handle
+
+    def detach(self, link_id: int) -> None:
+        """Leave the medium (host powered off / departed)."""
+        self._radios.pop(link_id, None)
+
+    def set_enabled(self, link_id: int, enabled: bool) -> None:
+        """Radio on/off without losing the attachment (used by churn models)."""
+        self._radios[link_id].enabled = enabled
+
+    def set_position(self, link_id: int, position: tuple[float, float]) -> None:
+        self._radios[link_id].position = tuple(position)
+
+    def set_promiscuous(self, link_id: int, enabled: bool = True) -> None:
+        """Monitor mode: overhear unicast frames between other nodes."""
+        if enabled:
+            self._promiscuous.add(link_id)
+        else:
+            self._promiscuous.discard(link_id)
+
+    def position(self, link_id: int) -> tuple[float, float]:
+        return self._radios[link_id].position
+
+    @property
+    def link_ids(self) -> list[int]:
+        return list(self._radios)
+
+    # -- geometry ---------------------------------------------------------
+    def distance(self, a: int, b: int) -> float:
+        pa, pb = self._radios[a].position, self._radios[b].position
+        return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+
+    def in_range(self, a: int, b: int) -> bool:
+        if a == b:
+            return False
+        ra, rb = self._radios.get(a), self._radios.get(b)
+        if ra is None or rb is None or not ra.enabled or not rb.enabled:
+            return False
+        return self.distance(a, b) <= self.radio_range
+
+    def neighbors(self, link_id: int) -> list[int]:
+        """Link ids currently within radio range (instantaneous truth)."""
+        return [other for other in self._radios if self.in_range(link_id, other)]
+
+    # -- timing -----------------------------------------------------------
+    def tx_delay(self, size: int) -> float:
+        return size * 8 / self.bitrate
+
+    def _delivery_delay(self, size: int, distance: float) -> float:
+        return self.tx_delay(size) + distance / _SPEED_OF_LIGHT + self.proc_delay
+
+    # -- transmission -----------------------------------------------------
+    def broadcast(self, frame: Frame) -> int:
+        """Transmit to every enabled radio in range.
+
+        Returns the number of receivers the frame was *scheduled* to
+        (losses still apply per receiver).
+        """
+        sender = self._radios.get(frame.src_link)
+        if sender is None or not sender.enabled:
+            return 0
+        self.total_frames += 1
+        self.total_bytes += frame.size
+        sender.frames_sent += 1
+        sender.bytes_sent += frame.size
+        count = 0
+        for other_id in self._radios:
+            if not self.in_range(frame.src_link, other_id):
+                continue
+            count += 1
+            if self._rng.random() < self.loss_rate:
+                self.dropped_frames += 1
+                continue
+            delay = self._delivery_delay(frame.size, self.distance(frame.src_link, other_id))
+            self.sim.schedule(delay, self._deliver, other_id, frame)
+        return count
+
+    def unicast(
+        self,
+        frame: Frame,
+        on_fail: Callable[[Frame], None] | None = None,
+        on_success: Callable[[Frame], None] | None = None,
+    ) -> None:
+        """Transmit to ``frame.dst_link`` with MAC-style retries.
+
+        ``on_fail`` fires (after the retry budget) when the destination
+        is out of range, detached, disabled, or every attempt was lost --
+        indistinguishable causes at the sender, as on real hardware.
+        """
+        if frame.dst_link == BROADCAST_LINK:
+            raise ValueError("unicast frame has broadcast destination")
+        self._attempt_unicast(frame, 0, on_fail, on_success)
+
+    def _attempt_unicast(
+        self,
+        frame: Frame,
+        attempt: int,
+        on_fail: Callable[[Frame], None] | None,
+        on_success: Callable[[Frame], None] | None,
+    ) -> None:
+        sender = self._radios.get(frame.src_link)
+        if sender is None or not sender.enabled:
+            return  # sender itself left; nobody to notify
+        self.total_frames += 1
+        self.total_bytes += frame.size
+        sender.frames_sent += 1
+        sender.bytes_sent += frame.size
+
+        # Monitor-mode radios overhear the transmission regardless of the
+        # MAC destination (each copy draws loss independently).
+        for snoop in self._promiscuous:
+            if snoop in (frame.src_link, frame.dst_link):
+                continue
+            if not self.in_range(frame.src_link, snoop):
+                continue
+            if self._rng.random() < self.loss_rate:
+                continue
+            delay = self._delivery_delay(
+                frame.size, self.distance(frame.src_link, snoop)
+            )
+            self.sim.schedule(delay, self._deliver, snoop, frame)
+
+        reachable = self.in_range(frame.src_link, frame.dst_link)
+        lost = reachable and self._rng.random() < self.loss_rate
+        if reachable and not lost:
+            delay = self._delivery_delay(
+                frame.size, self.distance(frame.src_link, frame.dst_link)
+            )
+            self.sim.schedule(delay, self._deliver, frame.dst_link, frame)
+            if on_success is not None:
+                # MAC ack arrives one round trip later.
+                self.sim.schedule(delay + self.proc_delay, on_success, frame)
+            return
+        if lost:
+            self.dropped_frames += 1
+        if attempt < self.mac_retries:
+            self.sim.schedule(
+                self.ack_timeout, self._attempt_unicast, frame, attempt + 1,
+                on_fail, on_success,
+            )
+        elif on_fail is not None:
+            self.sim.schedule(self.ack_timeout, on_fail, frame)
+
+    def _deliver(self, link_id: int, frame: Frame) -> None:
+        radio = self._radios.get(link_id)
+        if radio is None or not radio.enabled:
+            return  # receiver left/slept while the frame was in flight
+        radio.frames_received += 1
+        radio.bytes_received += frame.size
+        radio.deliver(frame)

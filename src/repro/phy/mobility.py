@@ -1,0 +1,183 @@
+"""Mobility models.
+
+Each model drives the positions of attached radios through simulation
+events.  :class:`RandomWaypoint` is the classic MANET model (pick a
+destination, move at a uniform-random speed, pause, repeat);
+:class:`ChurnModel` teleports nodes in and out of the network, which is
+how the experiments model hosts joining/leaving (and adversaries
+re-entering with fresh identities).
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+from repro.phy.medium import WirelessMedium
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SimRNG
+
+
+class MobilityModel(ABC):
+    """Base: a model owns a set of link ids and updates their positions."""
+
+    @abstractmethod
+    def start(self) -> None:
+        """Begin driving positions (no-op for static models)."""
+
+    @abstractmethod
+    def stop(self) -> None:
+        """Stop driving positions."""
+
+
+class StaticMobility(MobilityModel):
+    """Positions never change.  Exists so scenarios treat mobility uniformly."""
+
+    def __init__(self, medium: WirelessMedium, link_ids: list[int]):
+        self.medium = medium
+        self.link_ids = list(link_ids)
+
+    def start(self) -> None:  # noqa: D102 - trivially documented by class
+        pass
+
+    def stop(self) -> None:  # noqa: D102
+        pass
+
+
+class RandomWaypoint(MobilityModel):
+    """Random waypoint over a rectangular area.
+
+    Parameters
+    ----------
+    speed_range:
+        (min, max) speed in m/s, drawn uniformly per leg.
+    pause:
+        Pause time at each waypoint in seconds.
+    tick:
+        Position-update granularity.  Positions move in straight lines
+        between updates; 1 s at pedestrian speeds keeps the error well
+        under a radio range.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: WirelessMedium,
+        link_ids: list[int],
+        area: tuple[float, float],
+        speed_range: tuple[float, float] = (1.0, 5.0),
+        pause: float = 10.0,
+        tick: float = 1.0,
+        rng: SimRNG | None = None,
+    ):
+        if speed_range[0] <= 0 or speed_range[1] < speed_range[0]:
+            raise ValueError("speed_range must satisfy 0 < min <= max")
+        self.sim = sim
+        self.medium = medium
+        self.link_ids = list(link_ids)
+        self.area = area
+        self.speed_range = speed_range
+        self.pause = pause
+        self.tick = tick
+        self._rng = rng or sim.rng("mobility/rwp")
+        self._running = False
+        # Per-node leg state: (target, speed, pause_until)
+        self._legs: dict[int, tuple[tuple[float, float], float, float]] = {}
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        for lid in self.link_ids:
+            self._legs[lid] = (self._pick_waypoint(), self._pick_speed(), 0.0)
+        self.sim.schedule(self.tick, self._step)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _pick_waypoint(self) -> tuple[float, float]:
+        return (self._rng.uniform(0, self.area[0]), self._rng.uniform(0, self.area[1]))
+
+    def _pick_speed(self) -> float:
+        return self._rng.uniform(*self.speed_range)
+
+    def _step(self) -> None:
+        if not self._running:
+            return
+        now = self.sim.now
+        for lid in self.link_ids:
+            target, speed, pause_until = self._legs[lid]
+            if now < pause_until:
+                continue
+            x, y = self.medium.position(lid)
+            dx, dy = target[0] - x, target[1] - y
+            dist = math.hypot(dx, dy)
+            step = speed * self.tick
+            if dist <= step:
+                # Arrived: pause, then pick a new leg.
+                self.medium.set_position(lid, target)
+                self._legs[lid] = (
+                    self._pick_waypoint(),
+                    self._pick_speed(),
+                    now + self.pause,
+                )
+            else:
+                self.medium.set_position(
+                    lid, (x + dx / dist * step, y + dy / dist * step)
+                )
+        self.sim.schedule(self.tick, self._step)
+
+
+class ChurnModel(MobilityModel):
+    """Random join/leave churn via radio enable/disable.
+
+    Every ``interval`` seconds (exponential), a uniformly chosen node
+    toggles between present and absent.  ``min_present`` keeps the
+    network from churning itself empty.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        medium: WirelessMedium,
+        link_ids: list[int],
+        interval: float = 30.0,
+        min_present: int = 2,
+        rng: SimRNG | None = None,
+    ):
+        self.sim = sim
+        self.medium = medium
+        self.link_ids = list(link_ids)
+        self.interval = interval
+        self.min_present = min_present
+        self._rng = rng or sim.rng("mobility/churn")
+        self._running = False
+        self._absent: set[int] = set()
+        #: Hooks: called with link_id on each transition.
+        self.on_leave = None
+        self.on_join = None
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.sim.schedule(self._rng.expovariate(1.0 / self.interval), self._toggle)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _toggle(self) -> None:
+        if not self._running:
+            return
+        lid = self._rng.choice(self.link_ids)
+        if lid in self._absent:
+            self._absent.discard(lid)
+            self.medium.set_enabled(lid, True)
+            if self.on_join:
+                self.on_join(lid)
+        elif len(self.link_ids) - len(self._absent) > self.min_present:
+            self._absent.add(lid)
+            self.medium.set_enabled(lid, False)
+            if self.on_leave:
+                self.on_leave(lid)
+        self.sim.schedule(self._rng.expovariate(1.0 / self.interval), self._toggle)

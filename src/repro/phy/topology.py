@@ -1,0 +1,136 @@
+"""Node placement generators and connectivity analysis.
+
+Placements return ``(n, 2)`` float arrays of positions.  Connectivity
+helpers build the unit-disk neighbour graph with a vectorised pairwise
+distance computation (NumPy broadcasting; no Python double loop) --
+checking that a generated scenario is connected before running it is on
+every benchmark's hot path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.rng import SimRNG
+
+
+def uniform_positions(n: int, area: tuple[float, float], rng: SimRNG) -> np.ndarray:
+    """``n`` points uniform over an ``area = (width, height)`` rectangle."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    xs = rng.uniform_array(0.0, area[0], n)
+    ys = rng.uniform_array(0.0, area[1], n)
+    return np.column_stack([xs, ys])
+
+
+def grid_positions(n: int, spacing: float) -> np.ndarray:
+    """First ``n`` points of a square grid with the given spacing."""
+    if n <= 0:
+        raise ValueError("n must be positive")
+    side = int(np.ceil(np.sqrt(n)))
+    idx = np.arange(n)
+    return np.column_stack([(idx % side) * spacing, (idx // side) * spacing]).astype(float)
+
+
+def chain_positions(n: int, spacing: float) -> np.ndarray:
+    """A straight line of ``n`` nodes -- the canonical k-hop topology.
+
+    With ``spacing`` just under the radio range, node i only hears
+    i-1 and i+1, giving exact control over hop counts (used by the
+    Figure 2/3 reproductions).
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    return np.column_stack([np.arange(n) * spacing, np.zeros(n)])
+
+
+def clustered_positions(
+    n: int,
+    clusters: int,
+    area: tuple[float, float],
+    cluster_std: float,
+    rng: SimRNG,
+) -> np.ndarray:
+    """Gaussian clusters -- models teams converging on a disaster site."""
+    if clusters <= 0 or n <= 0:
+        raise ValueError("n and clusters must be positive")
+    centers = uniform_positions(clusters, area, rng)
+    assignment = np.array([rng.randint(0, clusters - 1) for _ in range(n)])
+    offsets = rng.normal_array(0.0, cluster_std, (n, 2))
+    pts = centers[assignment] + offsets
+    return np.clip(pts, [0.0, 0.0], [area[0], area[1]])
+
+
+def adjacency(positions: np.ndarray, radio_range: float) -> np.ndarray:
+    """Boolean unit-disk adjacency matrix (diagonal False)."""
+    diff = positions[:, None, :] - positions[None, :, :]
+    dist2 = np.einsum("ijk,ijk->ij", diff, diff)
+    adj = dist2 <= radio_range * radio_range
+    np.fill_diagonal(adj, False)
+    return adj
+
+
+def connectivity_graph(positions: np.ndarray, radio_range: float) -> dict[int, list[int]]:
+    """Adjacency lists of the unit-disk graph."""
+    adj = adjacency(positions, radio_range)
+    return {i: list(np.flatnonzero(adj[i])) for i in range(len(positions))}
+
+
+def is_connected(positions: np.ndarray, radio_range: float) -> bool:
+    """True iff the unit-disk graph is a single connected component (BFS)."""
+    n = len(positions)
+    if n <= 1:
+        return True
+    adj = adjacency(positions, radio_range)
+    seen = np.zeros(n, dtype=bool)
+    frontier = [0]
+    seen[0] = True
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in np.flatnonzero(adj[u] & ~seen):
+                seen[v] = True
+                nxt.append(int(v))
+        frontier = nxt
+    return bool(seen.all())
+
+
+def connected_uniform_positions(
+    n: int,
+    area: tuple[float, float],
+    radio_range: float,
+    rng: SimRNG,
+    max_tries: int = 200,
+) -> np.ndarray:
+    """Rejection-sample a *connected* uniform placement.
+
+    Raises ``RuntimeError`` if the density is too low to find one in
+    ``max_tries`` draws (the caller should shrink the area or add nodes
+    rather than silently run a partitioned scenario).
+    """
+    for _ in range(max_tries):
+        pts = uniform_positions(n, area, rng)
+        if is_connected(pts, radio_range):
+            return pts
+    raise RuntimeError(
+        f"no connected placement of {n} nodes in {area} at range {radio_range} "
+        f"after {max_tries} tries; increase density"
+    )
+
+
+def hop_count(positions: np.ndarray, radio_range: float, src: int, dst: int) -> int:
+    """Shortest hop distance in the unit-disk graph, or -1 if unreachable."""
+    n = len(positions)
+    adj = adjacency(positions, radio_range)
+    dist = np.full(n, -1, dtype=int)
+    dist[src] = 0
+    frontier = [src]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v in np.flatnonzero(adj[u]):
+                if dist[v] == -1:
+                    dist[v] = dist[u] + 1
+                    nxt.append(int(v))
+        frontier = nxt
+    return int(dist[dst])

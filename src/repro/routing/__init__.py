@@ -1,0 +1,31 @@
+"""Routing: the paper's secure DSR plus two baselines.
+
+* :class:`~repro.routing.secure_dsr.SecureDSRRouter` -- the paper's
+  protocol (Sections 3.3-3.4): per-hop identity proofs in the SRR,
+  signed RREP/CREP/RERR, credit management, black-hole probing.
+* :class:`~repro.routing.dsr.PlainDSRRouter` -- classic insecure DSR
+  (Johnson-Maltz), the "what if we do nothing" comparator.
+* :class:`~repro.routing.bsar_like.EndpointOnlyRouter` -- a BSAR-style
+  variant that verifies only the endpoints (source signature on RREQ,
+  destination signature on RREP) but not intermediate SRR entries; the
+  paper positions its per-hop verification as the improvement over
+  exactly this design.
+
+All three share the DSR skeleton in ``secure_dsr`` (flood RREQ /
+reverse-path RREP / source-routed data / RERR maintenance) and differ
+only in what they sign and verify, so attack experiments compare
+security levels, not incidental implementation choices.
+"""
+
+from repro.routing.route_cache import CachedRoute, RouteCache
+from repro.routing.secure_dsr import SecureDSRRouter
+from repro.routing.dsr import PlainDSRRouter
+from repro.routing.bsar_like import EndpointOnlyRouter
+
+__all__ = [
+    "CachedRoute",
+    "RouteCache",
+    "SecureDSRRouter",
+    "PlainDSRRouter",
+    "EndpointOnlyRouter",
+]

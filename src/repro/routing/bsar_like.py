@@ -1,0 +1,32 @@
+"""BSAR-style endpoint-only verification baseline.
+
+BSAR (Bobba et al. 2002) binds SUCV/CGA identities to DSR's *endpoints*:
+the source can verify who initiated a route reply or route error, but
+intermediate hops in the route record present no identity proof.  The
+paper positions its SRR ("information is added to verify each host's
+identity in the list") as the enhancement over exactly this design:
+
+    "As compared to our work, we enhance BSAR by allowing a host to
+     verify the identity of every host in a route."
+
+:class:`EndpointOnlyRouter` therefore keeps endpoint signatures,
+endpoint verification and the credit ledger, but intermediates append
+*unsigned* SRR entries and the destination skips per-hop checks.  The
+A3 forged-hop experiment shows what that buys an attacker: a relay can
+splice arbitrary (e.g. innocent third-party) addresses into the route
+record and the endpoints are none the wiser.
+"""
+
+from __future__ import annotations
+
+from repro.routing.secure_dsr import SecureDSRRouter
+
+
+class EndpointOnlyRouter(SecureDSRRouter):
+    """Secure endpoints, unverified intermediate hops (BSAR-like)."""
+
+    SIGN = True
+    SIGN_HOPS = False
+    VERIFY_ENDPOINTS = True
+    VERIFY_HOPS = False
+    USE_CREDIT = True

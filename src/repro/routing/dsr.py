@@ -1,0 +1,40 @@
+"""Plain (insecure) DSR -- the "do nothing" baseline.
+
+Classic Johnson-Maltz DSR: same discovery/reply/maintenance machinery
+as :class:`~repro.routing.secure_dsr.SecureDSRRouter` but nothing is
+signed and nothing is verified -- route records, replies, errors and
+ACKs are all taken on faith, and there is no credit ledger.  This is
+the comparator the paper's attack analysis implicitly measures against:
+every Section 4 attack *succeeds* here, which the A2-A4 benchmarks
+demonstrate quantitatively.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.keys import PublicKey
+from repro.messages.routing import RREQ, SRREntry
+from repro.routing.secure_dsr import SecureDSRRouter
+
+#: Placeholder key carried in plain-DSR route records so the shared
+#: message format round-trips; it approximates DSR's bare-IP route
+#: record (real DSR would carry 16 bytes/hop, this carries ~52).
+NULL_KEY = PublicKey("simsig", b"\x00" * 16)
+
+
+class PlainDSRRouter(SecureDSRRouter):
+    """DSR with every security mechanism disabled."""
+
+    SIGN = False
+    SIGN_HOPS = False
+    VERIFY_ENDPOINTS = False
+    VERIFY_HOPS = False
+    USE_CREDIT = False
+
+    def _relay_rreq(self, msg: RREQ) -> None:
+        """Append a bare route-record entry (no identity material)."""
+        if msg.hop_limit <= 1:
+            return
+        entry = SRREntry(ip=self.node.ip, signature=b"", public_key=NULL_KEY, rn=0)
+        relayed = msg.append_entry(entry)
+        delay = self._rng.uniform(0.0, self.cfg.rebroadcast_jitter)
+        self.node.sim.schedule(delay, self.node.broadcast, relayed)

@@ -1,0 +1,38 @@
+"""Scenario assembly: network builders, traffic workloads, attack wiring.
+
+:class:`~repro.scenarios.builder.ScenarioBuilder` is the main entry
+point for examples, tests and benchmarks::
+
+    scenario = (
+        ScenarioBuilder(seed=7)
+        .grid(16, spacing=180)
+        .with_dns()
+        .build()
+    )
+    scenario.bootstrap_all()
+"""
+
+from repro.scenarios.builder import Scenario, ScenarioBuilder
+from repro.scenarios.workloads import CBRTraffic, PoissonTraffic, RequestResponse
+from repro.scenarios.attacks import (
+    add_blackhole,
+    add_rerr_spammer,
+    add_forger,
+    add_replayer,
+    add_dns_impersonator,
+    add_identity_churner,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioBuilder",
+    "CBRTraffic",
+    "PoissonTraffic",
+    "RequestResponse",
+    "add_blackhole",
+    "add_rerr_spammer",
+    "add_forger",
+    "add_replayer",
+    "add_dns_impersonator",
+    "add_identity_churner",
+]

@@ -1,0 +1,119 @@
+"""Attack wiring: drop adversary nodes into a built scenario.
+
+Each helper creates a node at the given position, attaches the
+adversarial router/component plus the normal bootstrap and DNS client
+(adversaries *participate* in the protocol -- that is what makes them
+dangerous), and returns the node so tests can inspect attack counters.
+
+These run *before* ``scenario.bootstrap_all()`` so the adversary joins
+the network alongside honest hosts.
+"""
+
+from __future__ import annotations
+
+from repro.adversary.blackhole import BlackholeRouter
+from repro.adversary.forger import ForgingRouter
+from repro.adversary.identity_churner import IdentityChurnBlackhole
+from repro.adversary.impersonator import DNSImpersonatorRouter
+from repro.adversary.replayer import ReplayAgent
+from repro.adversary.rerr_spammer import RERRSpamRouter
+from repro.bootstrap.autoconf import BootstrapManager
+from repro.core.node import Node
+from repro.dns.client import DNSClient
+from repro.ipv6.address import IPv6Address
+from repro.scenarios.builder import Scenario
+
+
+def _make_adversary_node(
+    scenario: Scenario,
+    name: str,
+    position: tuple[float, float],
+    router_factory,
+) -> Node:
+    node = Node(scenario.ctx, name, position, config=scenario.hosts[0].config)
+    node.attach_component("bootstrap", BootstrapManager(node))
+    node.attach_component("router", router_factory(node))
+    node.attach_component("dns_client", DNSClient(node))
+    scenario.hosts.append(node)
+    return node
+
+
+def add_blackhole(
+    scenario: Scenario,
+    position: tuple[float, float],
+    name: str = "blackhole",
+    forge_rreps: bool = False,
+    drop_probability: float = 1.0,
+) -> Node:
+    """A data-dropping relay; ``forge_rreps`` adds route-attraction forgery."""
+    return _make_adversary_node(
+        scenario, name, position,
+        lambda n: BlackholeRouter(n, forge_rreps=forge_rreps,
+                                  drop_probability=drop_probability),
+    )
+
+
+def add_rerr_spammer(
+    scenario: Scenario,
+    position: tuple[float, float],
+    name: str = "spammer",
+    also_drop: bool = False,
+) -> Node:
+    return _make_adversary_node(
+        scenario, name, position,
+        lambda n: RERRSpamRouter(n, also_drop=also_drop),
+    )
+
+
+def add_forger(
+    scenario: Scenario,
+    position: tuple[float, float],
+    name: str = "forger",
+    spoof_hop_ip: IPv6Address | None = None,
+    forge_acks: bool = False,
+    drop_data: bool = False,
+) -> Node:
+    return _make_adversary_node(
+        scenario, name, position,
+        lambda n: ForgingRouter(n, spoof_hop_ip=spoof_hop_ip,
+                                forge_acks=forge_acks, drop_data=drop_data),
+    )
+
+
+def add_replayer(
+    scenario: Scenario,
+    position: tuple[float, float],
+    name: str = "replayer",
+) -> Node:
+    """An otherwise-honest host carrying a record-and-replay component."""
+    from repro.routing.secure_dsr import SecureDSRRouter
+
+    node = _make_adversary_node(scenario, name, position, SecureDSRRouter)
+    node.attach_component("replayer", ReplayAgent(node))
+    return node
+
+
+def add_dns_impersonator(
+    scenario: Scenario,
+    position: tuple[float, float],
+    fake_answer: IPv6Address,
+    name: str = "dns-imp",
+    drop_real_query: bool = True,
+) -> Node:
+    return _make_adversary_node(
+        scenario, name, position,
+        lambda n: DNSImpersonatorRouter(n, fake_answer=fake_answer,
+                                        drop_real_query=drop_real_query),
+    )
+
+
+def add_identity_churner(
+    scenario: Scenario,
+    position: tuple[float, float],
+    name: str = "churner",
+    churn_interval: float = 20.0,
+) -> Node:
+    return _make_adversary_node(
+        scenario, name, position,
+        lambda n: IdentityChurnBlackhole(n, churn_interval=churn_interval),
+    )

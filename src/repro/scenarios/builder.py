@@ -1,0 +1,241 @@
+"""Scenario construction.
+
+A :class:`Scenario` owns the simulator, the medium, the DNS server node
+and the host nodes, with every protocol component wired.  The
+:class:`ScenarioBuilder` fluent API picks topology, router class,
+config overrides and mobility; ``build()`` materialises everything
+(deterministically from the seed) without running any simulation time.
+
+The DNS server is created already-configured: the paper assumes the
+server (and the distribution of its public key) predates network
+formation, so it does not itself run DAD.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bootstrap.autoconf import BootstrapManager
+from repro.core.config import NodeConfig
+from repro.core.context import NetContext
+from repro.core.node import Node
+from repro.dns.client import DNSClient
+from repro.dns.server import DNSServer
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.cga import generate_cga
+from repro.metrics.collector import MetricsCollector
+from repro.phy.medium import WirelessMedium
+from repro.phy.mobility import RandomWaypoint
+from repro.phy.topology import (
+    chain_positions,
+    connected_uniform_positions,
+    grid_positions,
+    uniform_positions,
+)
+from repro.routing.secure_dsr import SecureDSRRouter
+from repro.sim.kernel import Simulator
+from repro.trace.recorder import TraceRecorder
+
+
+class Scenario:
+    """A fully wired simulation: kernel + medium + DNS + hosts."""
+
+    def __init__(self, ctx: NetContext, dns_node: Node | None, hosts: list[Node]):
+        self.ctx = ctx
+        self.sim = ctx.sim
+        self.medium = ctx.medium
+        self.dns_node = dns_node
+        self.hosts = hosts
+
+    # -- convenient accessors ------------------------------------------------
+    @property
+    def metrics(self) -> MetricsCollector:
+        return self.ctx.metrics
+
+    @property
+    def trace(self) -> TraceRecorder:
+        return self.ctx.trace
+
+    @property
+    def all_nodes(self) -> list[Node]:
+        return ([self.dns_node] if self.dns_node else []) + self.hosts
+
+    def host(self, name: str) -> Node:
+        for node in self.all_nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name!r}")
+
+    @property
+    def dns_server(self) -> DNSServer | None:
+        return self.dns_node.component("dns_server") if self.dns_node else None
+
+    # -- orchestration ----------------------------------------------------------
+    def bootstrap_all(
+        self,
+        stagger: float = 0.25,
+        names: dict[str, str] | None = None,
+        run: bool = True,
+    ) -> None:
+        """Start secure DAD on every host, staggered, and (by default) run
+        the simulation until the last join settles.
+
+        ``names`` maps node name -> requested domain name.
+        """
+        names = names or {}
+        for i, node in enumerate(self.hosts):
+            dn = names.get(node.name, "")
+            self.sim.schedule(i * stagger, node.bootstrap.start, dn)
+        if run:
+            cfg = self.hosts[0].config if self.hosts else NodeConfig()
+            settle = len(self.hosts) * stagger + cfg.dad_timeout * 3 + 1.0
+            self.sim.run(until=self.sim.now + settle)
+
+    def run(self, until: float | None = None, duration: float | None = None) -> None:
+        """Run to absolute time ``until`` or for ``duration`` more seconds."""
+        if duration is not None:
+            until = self.sim.now + duration
+        self.sim.run(until=until)
+
+    def send_data(self, src: Node, dst: IPv6Address, payload: bytes, **kw) -> int:
+        """Convenience passthrough to the source node's router."""
+        return src.router.send_data(dst, payload, **kw)
+
+    def configured_count(self) -> int:
+        return sum(1 for n in self.hosts if n.configured)
+
+
+class ScenarioBuilder:
+    """Fluent scenario assembly.  All randomness derives from ``seed``."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._config = NodeConfig()
+        self._router_cls = SecureDSRRouter
+        self._router_cls_by_name: dict[str, type] = {}
+        self._positions: np.ndarray | None = None
+        self._radio_range = 250.0
+        self._loss_rate = 0.0
+        self._with_dns = False
+        self._dns_position: tuple[float, float] | None = None
+        self._dns_preregistrations: list[tuple[str, IPv6Address]] = []
+        self._mobility: dict | None = None
+        self._area: tuple[float, float] | None = None
+
+    # -- topology -------------------------------------------------------------
+    def chain(self, n: int, spacing: float = 200.0) -> "ScenarioBuilder":
+        """A line of ``n`` hosts; spacing < range => i hears only i±1."""
+        self._positions = chain_positions(n, spacing)
+        self._area = (max(1.0, (n - 1) * spacing), spacing)
+        return self
+
+    def grid(self, n: int, spacing: float = 180.0) -> "ScenarioBuilder":
+        self._positions = grid_positions(n, spacing)
+        side = int(np.ceil(np.sqrt(n)))
+        self._area = (side * spacing, side * spacing)
+        return self
+
+    def uniform(
+        self, n: int, area: tuple[float, float], require_connected: bool = True
+    ) -> "ScenarioBuilder":
+        rng_holder = Simulator(seed=self.seed).rng("placement")
+        if require_connected:
+            self._positions = connected_uniform_positions(
+                n, area, self._radio_range, rng_holder
+            )
+        else:
+            self._positions = uniform_positions(n, area, rng_holder)
+        self._area = area
+        return self
+
+    def positions(self, pts) -> "ScenarioBuilder":
+        """Explicit (n, 2) placement."""
+        self._positions = np.asarray(pts, dtype=float)
+        return self
+
+    # -- radio ------------------------------------------------------------------
+    def radio(self, radio_range: float = 250.0, loss_rate: float = 0.0) -> "ScenarioBuilder":
+        self._radio_range = radio_range
+        self._loss_rate = loss_rate
+        return self
+
+    # -- protocol ----------------------------------------------------------------
+    def config(self, **overrides) -> "ScenarioBuilder":
+        self._config = self._config.with_overrides(**overrides)
+        return self
+
+    def router(self, router_cls, node_name: str | None = None) -> "ScenarioBuilder":
+        """Set the router class network-wide, or for one node by name."""
+        if node_name is None:
+            self._router_cls = router_cls
+        else:
+            self._router_cls_by_name[node_name] = router_cls
+        return self
+
+    # -- DNS -----------------------------------------------------------------------
+    def with_dns(self, position: tuple[float, float] | None = None) -> "ScenarioBuilder":
+        self._with_dns = True
+        self._dns_position = position
+        return self
+
+    def preregister(self, name: str, ip: IPv6Address) -> "ScenarioBuilder":
+        """Install a permanent DNS entry before network formation."""
+        self._dns_preregistrations.append((name, ip))
+        return self
+
+    # -- mobility -------------------------------------------------------------------
+    def random_waypoint(
+        self, speed: tuple[float, float] = (1.0, 5.0), pause: float = 10.0
+    ) -> "ScenarioBuilder":
+        self._mobility = {"kind": "rwp", "speed": speed, "pause": pause}
+        return self
+
+    # -- build -----------------------------------------------------------------------
+    def build(self) -> Scenario:
+        if self._positions is None:
+            raise ValueError("no topology chosen (use chain/grid/uniform/positions)")
+        sim = Simulator(seed=self.seed)
+        medium = WirelessMedium(
+            sim, radio_range=self._radio_range, loss_rate=self._loss_rate
+        )
+        ctx = NetContext(sim=sim, medium=medium)
+
+        dns_node = None
+        if self._with_dns:
+            dns_pos = self._dns_position or tuple(
+                np.asarray(self._positions).mean(axis=0)
+            )
+            dns_node = self._make_node(ctx, "dns", dns_pos, SecureDSRRouter)
+            # Server identity exists before network formation (paper
+            # assumption): adopt a CGA immediately, no DAD.
+            ip, params = generate_cga(dns_node.public_key, dns_node.rng("self-cga"))
+            dns_node.adopt_identity(ip, params)
+            dns_node.domain_name = "dns.manet"
+            server = DNSServer(dns_node)
+            dns_node.attach_component("dns_server", server)
+            for name, addr in self._dns_preregistrations:
+                server.preregister(name, addr)
+
+        hosts = []
+        for i, pos in enumerate(np.asarray(self._positions)):
+            name = f"n{i}"
+            router_cls = self._router_cls_by_name.get(name, self._router_cls)
+            hosts.append(self._make_node(ctx, name, tuple(pos), router_cls))
+
+        if self._mobility and self._mobility["kind"] == "rwp":
+            mob = RandomWaypoint(
+                sim, medium, [h.link_id for h in hosts],
+                area=self._area or (1000.0, 1000.0),
+                speed_range=self._mobility["speed"],
+                pause=self._mobility["pause"],
+            )
+            mob.start()
+
+        return Scenario(ctx, dns_node, hosts)
+
+    def _make_node(self, ctx, name, position, router_cls) -> Node:
+        node = Node(ctx, name, position, config=self._config)
+        node.attach_component("bootstrap", BootstrapManager(node))
+        node.attach_component("router", router_cls(node))
+        node.attach_component("dns_client", DNSClient(node))
+        return node

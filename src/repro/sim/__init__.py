@@ -1,0 +1,26 @@
+"""Discrete-event simulation kernel.
+
+The kernel is intentionally small: a priority queue of timestamped events,
+a simulation clock, and deterministic seeded randomness.  Everything else
+in the stack (radio medium, protocol timers, traffic generators) is built
+on :class:`~repro.sim.kernel.Simulator`.
+
+Determinism contract
+--------------------
+Runs are reproducible bit-for-bit given the same seed: the event queue
+breaks timestamp ties by insertion order, and all randomness flows through
+:class:`~repro.sim.rng.SimRNG` streams derived from the master seed.
+"""
+
+from repro.sim.kernel import Event, EventHandle, Simulator
+from repro.sim.rng import SimRNG
+from repro.sim.process import Timer, PeriodicTimer
+
+__all__ = [
+    "Event",
+    "EventHandle",
+    "Simulator",
+    "SimRNG",
+    "Timer",
+    "PeriodicTimer",
+]

@@ -1,0 +1,119 @@
+"""Timer helpers layered on the kernel.
+
+The protocol stack needs two recurring patterns:
+
+* :class:`Timer` -- a one-shot timeout that can be restarted/cancelled
+  (DAD wait periods, RREQ reply timeouts, retransmissions).
+* :class:`PeriodicTimer` -- a fixed-interval tick (beaconing, traffic
+  generation, credit decay), optionally jittered.
+
+Both are thin wrappers over :meth:`Simulator.schedule`; they exist so
+protocol code reads declaratively and cancellation is single-call.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.sim.kernel import EventHandle, Simulator
+
+
+class Timer:
+    """A restartable one-shot timer.
+
+    ``start()`` arms the timer; if it is already armed the old deadline is
+    cancelled first, so ``start`` doubles as "restart".  The callback runs
+    once per arming.
+    """
+
+    def __init__(self, sim: Simulator, callback: Callable[..., None], *args: Any):
+        self._sim = sim
+        self._callback = callback
+        self._args = args
+        self._handle: EventHandle | None = None
+
+    @property
+    def armed(self) -> bool:
+        return self._handle is not None and not self._handle.cancelled
+
+    @property
+    def deadline(self) -> float | None:
+        """Absolute firing time, or None when not armed."""
+        return self._handle.time if self.armed else None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer to fire ``delay`` seconds from now."""
+        self.cancel()
+        self._handle = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _fire(self) -> None:
+        self._handle = None
+        self._callback(*self._args)
+
+
+class PeriodicTimer:
+    """A repeating timer with optional per-tick jitter.
+
+    The next tick is scheduled *after* the callback runs, so a slow or
+    re-entrant callback cannot cause tick pile-up.  ``jitter`` is the
+    fractional perturbation applied per tick (0 disables it).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[..., None],
+        *args: Any,
+        jitter: float = 0.0,
+        rng_stream: str = "periodic-timer",
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._jitter = jitter
+        self._rng = sim.rng(rng_stream)
+        self._handle: EventHandle | None = None
+        self._running = False
+        self.ticks = 0
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, initial_delay: float | None = None) -> None:
+        """Start ticking.  First tick after ``initial_delay`` (default: one interval)."""
+        if self._running:
+            return
+        self._running = True
+        delay = self.interval if initial_delay is None else initial_delay
+        self._handle = self._sim.schedule(self._maybe_jitter(delay), self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    def _maybe_jitter(self, delay: float) -> float:
+        if self._jitter == 0.0:
+            return delay
+        return self._rng.jitter(delay, self._jitter)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.ticks += 1
+        self._callback(*self._args)
+        if self._running:
+            self._handle = self._sim.schedule(self._maybe_jitter(self.interval), self._tick)

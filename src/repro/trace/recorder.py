@@ -1,0 +1,88 @@
+"""Per-run event trace.
+
+Nodes report ``send``/``recv``/``verdict``/``note`` events; the recorder
+keeps them in simulation-time order (appends are already ordered because
+the kernel is sequential).  Filters return lightweight views -- no
+copying of message objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced protocol event.
+
+    ``kind`` is ``"send"``, ``"recv"``, ``"verdict"`` or ``"note"``;
+    ``detail`` is the message summary or verdict string.
+    """
+
+    time: float
+    node: str
+    kind: str
+    msg_type: str
+    detail: str
+    payload: Any = None
+
+    def __str__(self) -> str:
+        return f"[{self.time:10.6f}] {self.node:>8} {self.kind:<7} {self.msg_type:<5} {self.detail}"
+
+
+class TraceRecorder:
+    """Append-only event log with simple query helpers."""
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: list[TraceEvent] = []
+        self.dropped = 0
+
+    def record(
+        self,
+        time: float,
+        node: str,
+        kind: str,
+        msg_type: str,
+        detail: str,
+        payload: Any = None,
+    ) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
+            return
+        self.events.append(TraceEvent(time, node, kind, msg_type, detail, payload))
+
+    # -- queries -----------------------------------------------------------
+    def filter(
+        self,
+        kind: str | None = None,
+        msg_type: str | None = None,
+        node: str | None = None,
+    ) -> list[TraceEvent]:
+        out: Iterable[TraceEvent] = self.events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if msg_type is not None:
+            out = (e for e in out if e.msg_type == msg_type)
+        if node is not None:
+            out = (e for e in out if e.node == node)
+        return list(out)
+
+    def sends(self, msg_type: str | None = None) -> list[TraceEvent]:
+        return self.filter(kind="send", msg_type=msg_type)
+
+    def receipts(self, msg_type: str | None = None) -> list[TraceEvent]:
+        return self.filter(kind="recv", msg_type=msg_type)
+
+    def dump(self, limit: int | None = None) -> str:
+        """Human-readable chronological dump."""
+        events = self.events if limit is None else self.events[:limit]
+        return "\n".join(str(e) for e in events)
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0

@@ -1,0 +1,50 @@
+"""Shared test fixtures and scenario helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.backend import get_backend
+from repro.scenarios.builder import ScenarioBuilder
+
+
+@pytest.fixture
+def rsa():
+    return get_backend("rsa")
+
+
+@pytest.fixture
+def simsig():
+    return get_backend("simsig")
+
+
+def chain_scenario(n=4, seed=7, spacing=200.0, dns_pos=None, **config):
+    """A bootstrapped chain of ``n`` hosts with a DNS server alongside."""
+    if dns_pos is None:
+        dns_pos = ((n - 1) * spacing / 2, 60.0)
+    builder = (
+        ScenarioBuilder(seed=seed)
+        .chain(n, spacing=spacing)
+        .with_dns(dns_pos)
+    )
+    if config:
+        builder = builder.config(**config)
+    return builder
+
+
+def two_path_scenario(seed=5, **config):
+    """Four honest hosts forming a short path and a detour around (200, 0).
+
+    Host 0 <-> host 1 have a direct 2-hop path through whatever node is
+    placed at (200, 0) (tests add an adversary there) and a 3-hop detour
+    via hosts 2 and 3.
+    """
+    builder = (
+        ScenarioBuilder(seed=seed)
+        .positions([(0, 0), (400, 0), (100, 150), (300, 150)])
+        .radio(250)
+        .with_dns((200, -400))
+    )
+    if config:
+        builder = builder.config(**config)
+    return builder

@@ -1,0 +1,125 @@
+"""Replay and forgery attack experiments (Section 4) as tests."""
+
+import pytest
+
+from repro.routing.bsar_like import EndpointOnlyRouter
+from repro.scenarios.attacks import add_forger, add_replayer
+from tests.conftest import chain_scenario, two_path_scenario
+
+
+def test_replayed_rreps_never_accepted():
+    """The replayer records RREPs then fires them at later discoveries."""
+    sc = chain_scenario(n=4, seed=47).build()
+    rep = add_replayer(sc, (300.0, 120.0))
+    sc.bootstrap_all()
+    a, b = sc.hosts[0], sc.hosts[3]
+
+    accepted_baseline = 0
+    # Round 1: legitimate discovery (replayer records the RREP it hears).
+    a.router.send_data(b.ip, b"one")
+    sc.run(duration=10.0)
+    accepted_baseline = sc.metrics.verdicts["rrep.accepted"]
+    assert rep.component("replayer").recorded_rreps
+
+    # Expire the cache, then rediscover: the replayer races the real reply.
+    a.router.cache.clear()
+    a.router._recent_discoveries.clear()
+    a.router.send_data(b.ip, b"two")
+    sc.run(duration=10.0)
+    assert rep.component("replayer").replays_fired >= 1
+    # Replays carry the OLD sequence number: every one rejected as stale.
+    assert sc.metrics.verdicts["rrep.rejected.stale_seq"] >= 1
+    assert sc.metrics.delivered(a.ip, b.ip) == 2  # real traffic unharmed
+
+
+def test_replay_everything_is_fully_rejected():
+    sc = chain_scenario(n=4, seed=53).build()
+    rep = add_replayer(sc, (300.0, 120.0))
+    sc.bootstrap_all()
+    a, b = sc.hosts[0], sc.hosts[3]
+    a.router.send_data(b.ip, b"one")
+    sc.run(duration=10.0)
+
+    accepted_before = {
+        k: v for k, v in sc.metrics.verdicts.items()
+        if k.endswith(".accepted") and k.split(".")[0] in ("rrep", "crep", "arep")
+    }
+    fired = rep.component("replayer").replay_everything()
+    sc.run(duration=10.0)
+    accepted_after = {
+        k: v for k, v in sc.metrics.verdicts.items()
+        if k.endswith(".accepted") and k.split(".")[0] in ("rrep", "crep", "arep")
+    }
+    assert fired > 0
+    assert accepted_after == accepted_before  # zero replays accepted
+
+
+def test_spoofed_hop_rejected_by_full_protocol():
+    """A relay splicing a fake hop identity is caught by per-hop checks."""
+    sc = two_path_scenario(seed=59).build()
+    victim_ip_holder = sc.hosts[2]
+    sc.bootstrap_all()
+    forger = add_forger(sc, (200.0, 0.0), spoof_hop_ip=victim_ip_holder.ip)
+    forger.bootstrap.start("")
+    sc.run(duration=5.0)
+
+    a, b = sc.hosts[0], sc.hosts[1]
+    a.router.send_data(b.ip, b"x")
+    sc.run(duration=15.0)
+    assert forger.router.hops_spoofed >= 1
+    assert sc.metrics.verdicts["rreq.rejected.hop_bad_cga"] >= 1
+    # Traffic still flows via the honest path.
+    assert sc.metrics.delivered(a.ip, b.ip) == 1
+
+
+def test_spoofed_hop_accepted_by_endpoint_only_baseline():
+    """The BSAR-like baseline cannot see the spoofed hop (the paper's gap)."""
+    sc = two_path_scenario(seed=59).router(EndpointOnlyRouter).build()
+    victim_ip_holder = sc.hosts[2]
+    sc.bootstrap_all()
+    forger = add_forger(sc, (200.0, 0.0), spoof_hop_ip=victim_ip_holder.ip)
+    forger.bootstrap.start("")
+    sc.run(duration=5.0)
+
+    a, b = sc.hosts[0], sc.hosts[1]
+    a.router.send_data(b.ip, b"x")
+    sc.run(duration=15.0)
+    assert forger.router.hops_spoofed >= 1
+    # No hop rejection verdict exists -- the forged SRR sailed through.
+    assert sc.metrics.verdicts["rreq.rejected.hop_bad_cga"] == 0
+    # The poisoned route (containing the victim's spoofed address) may be
+    # cached at the destination side; the attack went undetected.
+
+
+def test_forged_acks_rejected_and_forger_cannot_mask_drops():
+    sc = two_path_scenario(seed=61, hostile_mode=True).build()
+    sc.bootstrap_all()
+    forger = add_forger(sc, (200.0, 0.0), forge_acks=True, drop_data=True)
+    forger.bootstrap.start("")
+    sc.run(duration=5.0)
+
+    a, b = sc.hosts[0], sc.hosts[1]
+    from repro.scenarios.workloads import CBRTraffic
+
+    traffic = CBRTraffic(a, b.ip, interval=1.0, count=15)
+    sc.run(duration=60.0)
+    if forger.router.acks_forged:
+        assert sc.metrics.rejected("ack") >= 1
+    # Forged ACKs bought the forger nothing: delivery still completes via
+    # the honest detour after detection.
+    assert traffic.delivered == traffic.count
+
+
+def test_forger_gains_no_credit_from_forged_acks():
+    sc = two_path_scenario(seed=61, hostile_mode=True).build()
+    sc.bootstrap_all()
+    forger = add_forger(sc, (200.0, 0.0), forge_acks=True, drop_data=True)
+    forger.bootstrap.start("")
+    sc.run(duration=5.0)
+    a, b = sc.hosts[0], sc.hosts[1]
+    from repro.scenarios.workloads import CBRTraffic
+
+    CBRTraffic(a, b.ip, interval=1.0, count=10)
+    sc.run(duration=40.0)
+    # Credit can only have gone down (penalty) or stayed at initial.
+    assert a.router.credits.credit(forger.ip) <= a.config.credit_initial

@@ -1,0 +1,141 @@
+"""Unit tests for credit management and credit-aware route selection."""
+
+import pytest
+
+from repro.credit.manager import CreditManager
+from repro.credit.policy import RoutePolicy, has_suspect, route_score, select_route
+from repro.ipv6.address import IPv6Address
+
+A = IPv6Address("fec0::a")
+B = IPv6Address("fec0::b")
+C = IPv6Address("fec0::c")
+D = IPv6Address("fec0::d")
+
+
+def test_unknown_host_gets_initial_credit():
+    cm = CreditManager(initial=1.0)
+    assert cm.credit(A) == 1.0
+    assert cm.known_hosts() == []
+
+
+def test_reward_increments_by_one():
+    cm = CreditManager(initial=1.0, reward=1.0)
+    cm.reward(A)
+    cm.reward(A)
+    assert cm.credit(A) == 3.0
+    assert cm.rewards_granted == 2
+
+
+def test_reward_route_rewards_every_hop():
+    cm = CreditManager()
+    cm.reward_route((A, B, C))
+    assert cm.credit(A) == cm.credit(B) == cm.credit(C) == 2.0
+
+
+def test_penalty_is_very_large():
+    cm = CreditManager(initial=1.0, penalty=50.0)
+    for _ in range(10):
+        cm.reward(A)
+    cm.penalize(A)
+    assert cm.credit(A) == 11.0 - 50.0
+    assert cm.is_suspect(A)
+    assert cm.penalties_applied == 1
+
+
+def test_new_identity_resets_to_low_initial():
+    """The identity-churn defence: a fresh IP starts at the floor."""
+    cm = CreditManager(initial=1.0)
+    cm.penalize(A)
+    fresh = IPv6Address("fec0::99")  # the attacker's new CGA
+    assert cm.credit(fresh) == 1.0
+    assert not cm.is_suspect(fresh)
+    assert cm.is_suspect(A)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CreditManager(initial=-1.0)
+    with pytest.raises(ValueError):
+        CreditManager(reward=0.0)
+    with pytest.raises(ValueError):
+        CreditManager(penalty=0.0)
+
+
+def test_rerr_window_tracking():
+    cm = CreditManager(rerr_window=10.0, rerr_threshold=3)
+    assert not cm.record_rerr(A, now=0.0)
+    assert not cm.record_rerr(A, now=1.0)
+    assert cm.record_rerr(A, now=2.0)  # 3rd within window
+    assert cm.rerr_count(A, now=2.0) == 3
+
+
+def test_rerr_window_slides():
+    cm = CreditManager(rerr_window=10.0, rerr_threshold=3)
+    cm.record_rerr(A, now=0.0)
+    cm.record_rerr(A, now=1.0)
+    assert not cm.record_rerr(A, now=50.0)  # old reports aged out
+    assert cm.rerr_count(A, now=50.0) == 1
+
+
+def test_route_score_min_and_mean():
+    cm = CreditManager(initial=1.0)
+    cm.reward(A)  # A: 2.0, B: 1.0
+    assert route_score(cm, (A, B), "min") == 1.0
+    assert route_score(cm, (A, B), "mean") == 1.5
+    assert route_score(cm, (), "min") == float("inf")
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RoutePolicy(metric="median")
+
+
+def test_select_route_normal_prefers_shortest():
+    cm = CreditManager()
+    cm.reward(A)  # longer route has better credit
+    policy = RoutePolicy(hostile_mode=False)
+    assert select_route(cm, [(A, B), (C,)], policy) == (C,)
+
+
+def test_select_route_normal_credit_breaks_ties():
+    cm = CreditManager()
+    cm.reward(A)
+    policy = RoutePolicy(hostile_mode=False)
+    assert select_route(cm, [(B,), (A,)], policy) == (A,)
+
+
+def test_select_route_hostile_prefers_credit():
+    cm = CreditManager()
+    cm.reward(C)  # C proved itself
+    policy = RoutePolicy(hostile_mode=True)
+    # Longer route through trusted C beats shorter route through unknown A.
+    assert select_route(cm, [(A,), (C, B)], policy) == (A,)  # min(C,B)=1 == A: tie -> shorter
+    cm.reward(B)
+    assert select_route(cm, [(A,), (C, B)], policy) == (C, B)
+
+
+def test_select_route_avoids_suspects_when_possible():
+    cm = CreditManager()
+    cm.penalize(A)
+    for policy in (RoutePolicy(hostile_mode=False), RoutePolicy(hostile_mode=True)):
+        assert select_route(cm, [(A,), (B, C)], policy) == (B, C)
+
+
+def test_select_route_returns_least_bad_when_all_suspect():
+    cm = CreditManager()
+    cm.penalize(A)
+    cm.penalize(B)
+    cm.penalize(B)  # B worse than A
+    policy = RoutePolicy(hostile_mode=True)
+    assert select_route(cm, [(A,), (B,)], policy) == (A,)
+
+
+def test_select_route_empty():
+    assert select_route(CreditManager(), [], RoutePolicy()) is None
+
+
+def test_has_suspect():
+    cm = CreditManager()
+    assert not has_suspect(cm, (A, B))
+    cm.penalize(B)
+    assert has_suspect(cm, (A, B))

@@ -1,0 +1,60 @@
+"""Unit tests for H(PK, rn) and the generic hash."""
+
+import pytest
+
+from repro.crypto.hashes import CGA_HASH_BITS, H, cga_hash, sha256_int
+
+
+def test_cga_hash_is_64_bit():
+    v = cga_hash(b"some-public-key", 12345)
+    assert 0 <= v < (1 << CGA_HASH_BITS)
+
+
+def test_cga_hash_deterministic():
+    assert cga_hash(b"pk", 1) == cga_hash(b"pk", 1)
+
+
+def test_cga_hash_sensitive_to_key_and_rn():
+    base = cga_hash(b"pk", 1)
+    assert cga_hash(b"pk", 2) != base
+    assert cga_hash(b"pj", 1) != base
+
+
+def test_cga_hash_rejects_out_of_range_rn():
+    with pytest.raises(ValueError):
+        cga_hash(b"pk", -1)
+    with pytest.raises(ValueError):
+        cga_hash(b"pk", 1 << 64)
+    # boundary fine
+    cga_hash(b"pk", (1 << 64) - 1)
+
+
+def test_cga_hash_no_concatenation_ambiguity():
+    """(b"ab", n) and (b"a", m) must not collide by byte-shifting."""
+    assert cga_hash(b"ab", 0x63) != cga_hash(b"abc", 0)
+
+
+def test_generic_hash_length_prefixing():
+    assert H(b"ab", b"c") != H(b"a", b"bc")
+    assert H(b"abc") != H(b"ab", b"c")
+
+
+def test_generic_hash_deterministic_32_bytes():
+    assert H(b"x") == H(b"x")
+    assert len(H(b"x")) == 32
+
+
+def test_sha256_int_truncation():
+    full = sha256_int(b"data", 256)
+    top64 = sha256_int(b"data", 64)
+    assert top64 == full >> 192
+    with pytest.raises(ValueError):
+        sha256_int(b"data", 0)
+    with pytest.raises(ValueError):
+        sha256_int(b"data", 257)
+
+
+def test_domain_separation_between_hashes():
+    """cga_hash and H never coincide on identical inputs (different tags)."""
+    data = b"payload"
+    assert cga_hash(data, 0) != int.from_bytes(H(data)[:8], "big")

@@ -1,0 +1,145 @@
+"""Unit tests for the from-scratch RSA backend."""
+
+import pytest
+
+from repro.crypto.rsa import (
+    RSABackend,
+    generate_prime,
+    is_probable_prime,
+    modinv,
+)
+
+
+def test_is_probable_prime_small_values():
+    primes = {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+    for n in range(2, 38):
+        assert is_probable_prime(n) == (n in primes)
+    assert not is_probable_prime(0)
+    assert not is_probable_prime(1)
+    assert not is_probable_prime(-7)
+
+
+def test_is_probable_prime_known_larger_values():
+    assert is_probable_prime(104729)       # 10000th prime
+    assert not is_probable_prime(104730)
+    assert is_probable_prime(2**61 - 1)     # Mersenne prime
+    assert not is_probable_prime(2**62 - 1)
+
+
+def test_carmichael_numbers_rejected():
+    # Carmichael numbers fool Fermat tests; Miller-Rabin must not be fooled.
+    for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+        assert not is_probable_prime(n)
+
+
+def test_generate_prime_deterministic_and_sized():
+    p1 = generate_prime(b"seed", b"p", 256)
+    p2 = generate_prime(b"seed", b"p", 256)
+    assert p1 == p2
+    assert p1.bit_length() == 256
+    assert is_probable_prime(p1)
+    assert generate_prime(b"seed", b"q", 256) != p1
+
+
+def test_modinv():
+    assert modinv(3, 11) == 4
+    assert (modinv(65537, 100000007 - 1) * 65537) % (100000007 - 1) == 1
+    with pytest.raises(ValueError):
+        modinv(6, 9)  # gcd != 1
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return RSABackend(bits=512)
+
+
+@pytest.fixture(scope="module")
+def keypair(backend):
+    return backend.generate_keypair(b"test-node")
+
+
+def test_keygen_deterministic(backend):
+    k1 = backend.generate_keypair(b"abc")
+    k2 = backend.generate_keypair(b"abc")
+    assert k1.public == k2.public
+    assert backend.generate_keypair(b"abd").public != k1.public
+
+
+def test_modulus_size(backend, keypair):
+    n, e = keypair.public.material
+    assert n.bit_length() == 512
+    assert e == 65537
+
+
+def test_sign_verify_roundtrip(backend, keypair):
+    msg = b"the quick brown fox"
+    sig = backend.sign(keypair.private, msg)
+    assert len(sig) == backend.signature_size() == 64
+    assert backend.verify(keypair.public, msg, sig)
+
+
+def test_verify_rejects_tampered_message(backend, keypair):
+    sig = backend.sign(keypair.private, b"original")
+    assert not backend.verify(keypair.public, b"tampered", sig)
+
+
+def test_verify_rejects_tampered_signature(backend, keypair):
+    sig = bytearray(backend.sign(keypair.private, b"msg"))
+    sig[5] ^= 0xFF
+    assert not backend.verify(keypair.public, b"msg", bytes(sig))
+
+
+def test_verify_rejects_wrong_key(backend, keypair):
+    other = backend.generate_keypair(b"other-node")
+    sig = backend.sign(keypair.private, b"msg")
+    assert not backend.verify(other.public, b"msg", sig)
+
+
+def test_verify_rejects_wrong_length_signature(backend, keypair):
+    assert not backend.verify(keypair.public, b"msg", b"short")
+    assert not backend.verify(keypair.public, b"msg", b"\x00" * 128)
+
+
+def test_verify_rejects_signature_ge_modulus(backend, keypair):
+    n, _ = keypair.public.material
+    too_big = (n + 1).to_bytes(64, "big") if (n + 1).bit_length() <= 512 else b"\xff" * 64
+    assert not backend.verify(keypair.public, b"msg", too_big)
+
+
+def test_public_key_encode_decode_roundtrip(backend, keypair):
+    data = backend.encode_public_key(keypair.public)
+    assert len(data) == backend.public_key_size() == 68
+    decoded = backend.decode_public_key(data)
+    assert decoded == keypair.public
+
+
+def test_decode_public_key_rejects_bad_length(backend):
+    with pytest.raises(ValueError):
+        backend.decode_public_key(b"\x00" * 10)
+
+
+def test_signature_deterministic(backend, keypair):
+    assert backend.sign(keypair.private, b"m") == backend.sign(keypair.private, b"m")
+
+
+def test_sign_rejects_foreign_key(backend):
+    from repro.crypto.simsig import SimSigBackend
+
+    sim_kp = SimSigBackend().generate_keypair(b"x")
+    with pytest.raises(ValueError):
+        backend.sign(sim_kp.private, b"m")
+
+
+def test_crt_power_matches_plain_pow(backend, keypair):
+    mat = keypair.private.material
+    m = 0x1234567890ABCDEF
+    assert mat.power(m) == pow(m, mat.d, mat.n)
+
+
+def test_distinct_bit_sizes_have_distinct_names():
+    assert RSABackend(bits=512).name == "rsa"
+    assert RSABackend(bits=768).name == "rsa768"
+    with pytest.raises(ValueError):
+        RSABackend(bits=100)
+    with pytest.raises(ValueError):
+        RSABackend(bits=513)

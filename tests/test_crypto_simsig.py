@@ -1,0 +1,100 @@
+"""Unit tests for the simulated-signature backend."""
+
+import pytest
+
+from repro.crypto.backend import SignatureInvalid, available_backends, get_backend
+from repro.crypto.simsig import SimSigBackend
+
+
+@pytest.fixture
+def backend():
+    return SimSigBackend()
+
+
+def test_keygen_deterministic(backend):
+    assert backend.generate_keypair(b"a").public == backend.generate_keypair(b"a").public
+    assert backend.generate_keypair(b"a").public != backend.generate_keypair(b"b").public
+
+
+def test_sign_verify_roundtrip(backend):
+    kp = backend.generate_keypair(b"n")
+    sig = backend.sign(kp.private, b"hello")
+    assert len(sig) == backend.signature_size() == 16
+    assert backend.verify(kp.public, b"hello", sig)
+
+
+def test_verify_rejects_tampering(backend):
+    kp = backend.generate_keypair(b"n")
+    sig = backend.sign(kp.private, b"hello")
+    assert not backend.verify(kp.public, b"hellO", sig)
+    assert not backend.verify(kp.public, b"hello", sig[:-1] + b"\x00")
+
+
+def test_verify_rejects_other_key(backend):
+    kp1 = backend.generate_keypair(b"n1")
+    kp2 = backend.generate_keypair(b"n2")
+    sig = backend.sign(kp1.private, b"m")
+    assert not backend.verify(kp2.public, b"m", sig)
+
+
+def test_verify_rejects_unknown_public_key(backend):
+    """A fabricated public key (never generated) can verify nothing."""
+    from repro.crypto.keys import PublicKey
+
+    fake = PublicKey("simsig", b"\x01" * 16)
+    assert not backend.verify(fake, b"m", b"\x00" * 16)
+
+
+def test_counters_track_operations(backend):
+    kp = backend.generate_keypair(b"n")
+    backend.reset_counters()
+    sig = backend.sign(kp.private, b"m")
+    backend.verify(kp.public, b"m", sig)
+    backend.verify(kp.public, b"m", sig)
+    assert backend.signs == 1
+    assert backend.verifies == 2
+
+
+def test_op_cost(backend):
+    assert backend.op_cost("sign") > backend.op_cost("verify") > 0
+    with pytest.raises(ValueError):
+        backend.op_cost("hash")
+
+
+def test_rsa_op_cost_defaults_to_zero():
+    rsa = get_backend("rsa")
+    assert rsa.op_cost("sign") == 0.0
+    assert rsa.op_cost("verify") == 0.0
+
+
+def test_public_key_roundtrip(backend):
+    kp = backend.generate_keypair(b"n")
+    data = backend.encode_public_key(kp.public)
+    assert backend.decode_public_key(data) == kp.public
+    with pytest.raises(ValueError):
+        backend.decode_public_key(b"short")
+
+
+def test_verify_strict_raises(backend):
+    kp = backend.generate_keypair(b"n")
+    backend.verify_strict(kp.public, b"m", backend.sign(kp.private, b"m"))
+    with pytest.raises(SignatureInvalid):
+        backend.verify_strict(kp.public, b"m", b"\x00" * 16)
+
+
+def test_registry_returns_singletons():
+    assert get_backend("simsig") is get_backend("simsig")
+    assert get_backend("rsa") is get_backend("rsa")
+    with pytest.raises(KeyError):
+        get_backend("enigma")
+    assert set(available_backends()) >= {"rsa", "simsig"}
+
+
+def test_cross_backend_signature_rejected():
+    """An RSA signature never verifies under simsig and vice versa."""
+    rsa = get_backend("rsa")
+    sim = get_backend("simsig")
+    rk = rsa.generate_keypair(b"x")
+    sk = sim.generate_keypair(b"x")
+    assert not sim.verify(rk.public, b"m", rsa.sign(rk.private, b"m"))
+    assert not rsa.verify(sk.public, b"m", sim.sign(sk.private, b"m"))

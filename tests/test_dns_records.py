@@ -1,0 +1,106 @@
+"""Unit tests for the domain-name table and challenge ledger."""
+
+import pytest
+
+from repro.dns.records import DomainNameTable
+from repro.dns.secure_update import ChallengeLedger
+from repro.ipv6.address import IPv6Address
+
+IP1 = IPv6Address("fec0::1")
+IP2 = IPv6Address("fec0::2")
+
+
+def test_preregister_permanent_entry():
+    t = DomainNameTable()
+    rec = t.preregister("server.manet", IP1)
+    assert rec.permanent
+    assert t.lookup("server.manet").ip == IP1
+    assert "server.manet" in t
+    assert len(t) == 1
+
+
+def test_preregister_duplicate_rejected():
+    t = DomainNameTable()
+    t.preregister("a", IP1)
+    with pytest.raises(ValueError):
+        t.preregister("a", IP2)
+
+
+def test_online_registration_fcfs():
+    t = DomainNameTable()
+    r1 = t.register_online("a", IP1, public_key=None, rn=1, now=1.0)
+    assert r1 is not None and not r1.permanent
+    assert t.register_online("a", IP2, public_key=None, rn=2, now=2.0) is None
+    assert t.lookup("a").ip == IP1
+
+
+def test_online_registration_cannot_displace_permanent():
+    t = DomainNameTable()
+    t.preregister("server.manet", IP1)
+    assert t.register_online("server.manet", IP2, None, 0, now=1.0) is None
+    assert t.lookup("server.manet").ip == IP1
+
+
+def test_conflicts():
+    t = DomainNameTable()
+    t.preregister("a", IP1)
+    assert t.conflicts("a", IP2)
+    assert not t.conflicts("a", IP1)  # same binding: no conflict
+    assert not t.conflicts("b", IP2)  # unknown name: no conflict
+
+
+def test_update_ip_keeps_name_and_key():
+    t = DomainNameTable()
+    t.register_online("a", IP1, public_key=None, rn=7, now=0.0)
+    t.update_ip("a", IP2, new_rn=9)
+    rec = t.lookup("a")
+    assert rec.ip == IP2 and rec.rn == 9
+
+
+def test_reverse_lookup_and_remove():
+    t = DomainNameTable()
+    t.preregister("a", IP1)
+    assert t.lookup_ip(IP1).name == "a"
+    assert t.lookup_ip(IP2) is None
+    assert t.remove("a")
+    assert not t.remove("a")
+    assert t.names() == []
+
+
+# ---------------------------------------------------------------------------
+# ChallengeLedger
+# ---------------------------------------------------------------------------
+
+def test_registration_ledger_roundtrip():
+    led = ChallengeLedger(ttl=10.0)
+    led.open_registration("a", IP1, ch=5, now=0.0)
+    assert led.pending_count() == 1
+    pending = led.find_registration(IP1, 5, now=1.0)
+    assert pending is not None and pending.name == "a"
+    led.close_registration(IP1, 5)
+    assert led.find_registration(IP1, 5, now=1.0) is None
+
+
+def test_registration_ledger_expires():
+    led = ChallengeLedger(ttl=10.0)
+    led.open_registration("a", IP1, ch=5, now=0.0)
+    assert led.find_registration(IP1, 5, now=11.0) is None
+    assert led.pending_count() == 0
+
+
+def test_update_challenge_consumed_once():
+    led = ChallengeLedger(ttl=10.0)
+    led.issue_update_challenge("a", ch=42, now=0.0)
+    assert led.consume_update_challenge("a", now=1.0) == 42
+    assert led.consume_update_challenge("a", now=1.0) is None  # one-shot
+
+
+def test_update_challenge_expires():
+    led = ChallengeLedger(ttl=10.0)
+    led.issue_update_challenge("a", ch=42, now=0.0)
+    assert led.consume_update_challenge("a", now=20.0) is None
+
+
+def test_ledger_validation():
+    with pytest.raises(ValueError):
+        ChallengeLedger(ttl=0.0)

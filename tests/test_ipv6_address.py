@@ -1,0 +1,95 @@
+"""Unit tests for the IPv6 address value type."""
+
+import pytest
+
+from repro.ipv6.address import IPv6Address
+
+
+def test_construct_from_int_bytes_str_equivalence():
+    a = IPv6Address("fec0::1")
+    b = IPv6Address(a.value)
+    c = IPv6Address(a.packed)
+    d = IPv6Address(a)
+    assert a == b == c == d
+
+
+def test_parse_full_form():
+    a = IPv6Address("fe80:0000:0000:0000:0202:b3ff:fe1e:8329")
+    assert str(a) == "fe80::202:b3ff:fe1e:8329"
+
+
+def test_parse_compressed_forms():
+    assert IPv6Address("::").value == 0
+    assert IPv6Address("::1").value == 1
+    assert IPv6Address("fec0::").value == 0xFEC0 << 112
+    assert IPv6Address("a::b").groups == (0xA, 0, 0, 0, 0, 0, 0, 0xB)
+
+
+def test_format_compresses_longest_zero_run():
+    assert str(IPv6Address("fec0:0:0:ffff:0:0:0:1")) == "fec0:0:0:ffff::1"
+    assert str(IPv6Address("0:0:1:0:0:0:0:1")) == "0:0:1::1"
+
+
+def test_format_no_compression_for_single_zero():
+    assert str(IPv6Address("1:0:2:3:4:5:6:7")) == "1:0:2:3:4:5:6:7"
+
+
+def test_roundtrip_str_parse():
+    for text in ("::", "::1", "fec0::abcd", "1:2:3:4:5:6:7:8", "ff02::1"):
+        assert str(IPv6Address(str(IPv6Address(text)))) == str(IPv6Address(text))
+
+
+def test_parse_rejects_malformed():
+    for bad in ("", ":::", "1::2::3", "12345::", "g::1", "1:2:3", "1:2:3:4:5:6:7:8:9"):
+        with pytest.raises(ValueError):
+            IPv6Address(bad)
+
+
+def test_int_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        IPv6Address(-1)
+    with pytest.raises(ValueError):
+        IPv6Address(1 << 128)
+
+
+def test_bytes_wrong_length_rejected():
+    with pytest.raises(ValueError):
+        IPv6Address(b"\x00" * 15)
+
+
+def test_unsupported_type_rejected():
+    with pytest.raises(TypeError):
+        IPv6Address(3.14)
+
+
+def test_packed_is_16_big_endian_bytes():
+    a = IPv6Address("fec0::1")
+    assert len(a.packed) == 16
+    assert a.packed[0] == 0xFE and a.packed[1] == 0xC0 and a.packed[15] == 1
+    assert bytes(a) == a.packed
+
+
+def test_interface_id_and_subnet_id():
+    a = IPv6Address((0xFEC0 << 112) | (0xABCD << 64) | 0x1122334455667788)
+    assert a.interface_id == 0x1122334455667788
+    assert a.subnet_id == 0xABCD
+
+
+def test_high_bits():
+    a = IPv6Address("fec0::")
+    assert a.high_bits(10) == 0b1111111011
+    assert a.high_bits(0) == 0
+    assert a.high_bits(128) == a.value
+    with pytest.raises(ValueError):
+        a.high_bits(129)
+
+
+def test_ordering_and_hash():
+    a, b = IPv6Address(1), IPv6Address(2)
+    assert a < b and b > a
+    assert len({IPv6Address(1), IPv6Address(1), b}) == 2
+
+
+def test_equality_with_other_types():
+    assert IPv6Address(1) != 1
+    assert not (IPv6Address(1) == "::1")

@@ -1,0 +1,108 @@
+"""Unit tests for CGA generation/verification and the Figure 1 layout."""
+
+import pytest
+
+from repro.crypto.backend import get_backend
+from repro.crypto.hashes import cga_hash
+from repro.ipv6.address import IPv6Address
+from repro.ipv6.cga import CGAParams, cga_address, generate_cga, verify_cga
+from repro.ipv6.prefixes import (
+    DNS_ANYCAST_ADDRESSES,
+    SITE_LOCAL_PREFIX_BITS,
+    is_dns_anycast,
+    is_site_local,
+    site_local_from_interface_id,
+    split_fields,
+)
+from repro.sim.rng import SimRNG
+
+
+@pytest.fixture(scope="module")
+def key():
+    return get_backend("simsig").generate_keypair(b"cga-tests").public
+
+
+def test_figure1_field_layout(key):
+    """Fig 1: 10-bit fec0 prefix | 38 zero bits | 16-bit subnet | 64-bit hash."""
+    addr = cga_address(key, rn=77)
+    prefix, zeros, subnet, iface = split_fields(addr)
+    assert prefix == SITE_LOCAL_PREFIX_BITS == 0b1111111011
+    assert zeros == 0
+    assert subnet == 0
+    assert iface == cga_hash(key.encode(), 77)
+
+
+def test_subnet_id_field(key):
+    addr = cga_address(key, rn=77, subnet_id=0xBEEF)
+    assert addr.subnet_id == 0xBEEF
+    assert is_site_local(addr)
+
+
+def test_generate_and_verify_roundtrip(key):
+    rng = SimRNG(1, "t")
+    addr, params = generate_cga(key, rng)
+    assert verify_cga(addr, params)
+    assert params.public_key == key
+
+
+def test_generation_deterministic_per_stream(key):
+    a1, p1 = generate_cga(key, SimRNG(5, "s"))
+    a2, p2 = generate_cga(key, SimRNG(5, "s"))
+    assert a1 == a2 and p1.rn == p2.rn
+
+
+def test_fresh_rn_changes_address(key):
+    rng = SimRNG(1, "t")
+    a1, _ = generate_cga(key, rng)
+    a2, _ = generate_cga(key, rng)
+    assert a1 != a2
+
+
+def test_verify_rejects_wrong_rn(key):
+    addr, params = generate_cga(key, SimRNG(1, "t"))
+    bad = CGAParams(key, (params.rn + 1) % (1 << 64))
+    assert not verify_cga(addr, bad)
+
+
+def test_verify_rejects_wrong_key(key):
+    other = get_backend("simsig").generate_keypair(b"other").public
+    addr, params = generate_cga(key, SimRNG(1, "t"))
+    assert not verify_cga(addr, CGAParams(other, params.rn))
+
+
+def test_verify_rejects_non_site_local(key):
+    addr, params = generate_cga(key, SimRNG(1, "t"))
+    moved = IPv6Address((0x2001 << 112) | addr.interface_id)  # global prefix
+    assert not verify_cga(moved, params)
+
+
+def test_params_reject_bad_rn(key):
+    with pytest.raises(ValueError):
+        CGAParams(key, -1)
+    with pytest.raises(ValueError):
+        CGAParams(key, 1 << 64)
+
+
+def test_site_local_from_interface_id_validation():
+    with pytest.raises(ValueError):
+        site_local_from_interface_id(1 << 64)
+    with pytest.raises(ValueError):
+        site_local_from_interface_id(0, subnet_id=1 << 16)
+
+
+def test_dns_anycast_addresses():
+    assert [str(a) for a in DNS_ANYCAST_ADDRESSES] == [
+        "fec0:0:0:ffff::1",
+        "fec0:0:0:ffff::2",
+        "fec0:0:0:ffff::3",
+    ]
+    for a in DNS_ANYCAST_ADDRESSES:
+        assert is_site_local(a)
+        assert is_dns_anycast(a)
+    assert not is_dns_anycast(IPv6Address("fec0::1"))
+
+
+def test_rsa_keys_work_for_cga():
+    rsa_key = get_backend("rsa").generate_keypair(b"rsa-cga").public
+    addr, params = generate_cga(rsa_key, SimRNG(2, "r"))
+    assert verify_cga(addr, params)

@@ -1,0 +1,103 @@
+"""Unit tests for metrics collection and reports."""
+
+from repro.ipv6.address import IPv6Address
+from repro.metrics.collector import FlowStats, MetricsCollector
+from repro.metrics.reports import (
+    crypto_report,
+    delivery_report,
+    format_table,
+    overhead_report,
+    security_report,
+)
+
+A = IPv6Address("fec0::a")
+B = IPv6Address("fec0::b")
+
+
+def test_flow_stats_pdr_and_latency():
+    st = FlowStats()
+    assert st.pdr == 0.0 and st.mean_latency == 0.0
+    st.sent = 4
+    st.delivered = 3
+    st.latencies = [0.1, 0.2, 0.3]
+    assert st.pdr == 0.75
+    assert abs(st.mean_latency - 0.2) < 1e-12
+
+
+def test_message_accounting():
+    m = MetricsCollector()
+    m.on_send("RREQ", 100)
+    m.on_send("RREQ", 120)
+    m.on_send("DATA", 500)
+    m.on_receive("RREQ")
+    assert m.msgs_sent["RREQ"] == 2
+    assert m.bytes_sent["RREQ"] == 220
+    assert m.control_bytes() == 220       # DATA excluded
+    assert m.control_messages() == 2
+    assert m.msgs_received["RREQ"] == 1
+
+
+def test_flow_accounting_and_aggregate_pdr():
+    m = MetricsCollector()
+    m.on_data_sent(A, B)
+    m.on_data_sent(A, B)
+    m.on_data_delivered(A, B, 0.05)
+    m.on_data_acked(A, B)
+    m.on_data_dropped(A, B)
+    assert m.delivered(A, B) == 1
+    assert m.pdr(A, B) == 0.5
+    m.on_data_sent(B, A)
+    m.on_data_delivered(B, A, 0.01)
+    assert m.pdr() == 2 / 3
+
+
+def test_verdict_accounting():
+    m = MetricsCollector()
+    m.on_verdict("rrep.accepted")
+    m.on_verdict("rrep.rejected.bad_cga")
+    m.on_verdict("rrep.rejected.bad_signature")
+    assert m.accepted("rrep") == 1
+    assert m.rejected("rrep") == 2
+    assert m.rejected("arep") == 0
+
+
+def test_crypto_accounting():
+    m = MetricsCollector()
+    m.on_crypto("simsig", "sign")
+    m.on_crypto("simsig", "verify")
+    m.on_crypto("rsa", "verify")
+    assert m.crypto_total() == 3
+    assert m.crypto_total("verify") == 2
+    assert m.crypto_total("sign") == 1
+
+
+def test_discovery_accounting():
+    m = MetricsCollector()
+    m.on_discovery_started()
+    m.on_discovery_succeeded(0.2)
+    m.on_discovery_succeeded(0.4, via_crep=True)
+    assert m.discoveries_succeeded == 2
+    assert m.creps_used == 1
+    assert abs(m.mean_discovery_latency - 0.3) < 1e-12
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "n"], [["alpha", 1], ["b", 22]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "n" in lines[1]
+    assert len(lines) == 5
+    # all data rows equally wide
+    assert len(lines[3]) == len(lines[4])
+
+
+def test_reports_render_without_error():
+    m = MetricsCollector()
+    m.on_send("RREQ", 64)
+    m.on_data_sent(A, B)
+    m.on_data_delivered(A, B, 0.1)
+    m.on_verdict("rrep.accepted")
+    m.on_crypto("simsig", "sign")
+    for report in (delivery_report, overhead_report, security_report, crypto_report):
+        text = report(m)
+        assert isinstance(text, str) and text

@@ -1,0 +1,116 @@
+"""Unit tests for mobility models."""
+
+import math
+
+import pytest
+
+from repro.phy.medium import WirelessMedium
+from repro.phy.mobility import ChurnModel, RandomWaypoint, StaticMobility
+from repro.sim.kernel import Simulator
+
+
+def setup_net(n=3, seed=1):
+    sim = Simulator(seed=seed)
+    medium = WirelessMedium(sim, radio_range=100.0)
+    links = [medium.attach((i * 10.0, 0.0), lambda f: None).link_id for i in range(n)]
+    return sim, medium, links
+
+
+def test_static_mobility_never_moves():
+    sim, medium, links = setup_net()
+    before = [medium.position(l) for l in links]
+    mob = StaticMobility(medium, links)
+    mob.start()
+    sim.run(until=100.0)
+    assert [medium.position(l) for l in links] == before
+
+
+def test_random_waypoint_moves_nodes():
+    sim, medium, links = setup_net()
+    mob = RandomWaypoint(sim, medium, links, area=(500.0, 500.0),
+                         speed_range=(5.0, 10.0), pause=0.0)
+    before = [medium.position(l) for l in links]
+    mob.start()
+    sim.run(until=30.0)
+    after = [medium.position(l) for l in links]
+    assert any(a != b for a, b in zip(after, before))
+
+
+def test_random_waypoint_respects_speed_limit():
+    sim, medium, links = setup_net(n=1)
+    mob = RandomWaypoint(sim, medium, links, area=(1000.0, 1000.0),
+                         speed_range=(2.0, 4.0), pause=0.0, tick=1.0)
+    mob.start()
+    positions = []
+
+    def sample():
+        positions.append(medium.position(links[0]))
+
+    for t in range(1, 50):
+        sim.schedule(t + 0.5, sample)
+    sim.run(until=50.0)
+    for a, b in zip(positions, positions[1:]):
+        step = math.hypot(b[0] - a[0], b[1] - a[1])
+        assert step <= 4.0 + 1e-9
+
+
+def test_random_waypoint_stays_in_area():
+    sim, medium, links = setup_net()
+    mob = RandomWaypoint(sim, medium, links, area=(200.0, 200.0),
+                         speed_range=(10.0, 20.0), pause=0.0)
+    mob.start()
+    sim.run(until=60.0)
+    for l in links:
+        x, y = medium.position(l)
+        assert -1e-6 <= x <= 200.0 and -1e-6 <= y <= 200.0
+
+
+def test_random_waypoint_stop_freezes():
+    sim, medium, links = setup_net()
+    mob = RandomWaypoint(sim, medium, links, area=(500.0, 500.0), pause=0.0)
+    mob.start()
+    sim.run(until=10.0)
+    mob.stop()
+    frozen = [medium.position(l) for l in links]
+    sim.run(until=30.0)
+    assert [medium.position(l) for l in links] == frozen
+
+
+def test_random_waypoint_deterministic():
+    def final_positions(seed):
+        sim, medium, links = setup_net(seed=seed)
+        RandomWaypoint(sim, medium, links, area=(500.0, 500.0), pause=0.0).start()
+        sim.run(until=25.0)
+        return [medium.position(l) for l in links]
+
+    assert final_positions(9) == final_positions(9)
+    assert final_positions(9) != final_positions(10)
+
+
+def test_random_waypoint_validation():
+    sim, medium, links = setup_net()
+    with pytest.raises(ValueError):
+        RandomWaypoint(sim, medium, links, area=(10, 10), speed_range=(0.0, 5.0))
+    with pytest.raises(ValueError):
+        RandomWaypoint(sim, medium, links, area=(10, 10), speed_range=(5.0, 1.0))
+
+
+def test_churn_model_toggles_radios():
+    sim, medium, links = setup_net(n=6)
+    churn = ChurnModel(sim, medium, links, interval=1.0, min_present=2)
+    joined, left = [], []
+    churn.on_join = joined.append
+    churn.on_leave = left.append
+    churn.start()
+    sim.run(until=60.0)
+    assert left  # someone left
+    enabled = sum(1 for l in links if medium._radios[l].enabled)
+    assert enabled >= 2  # floor respected
+
+
+def test_churn_model_floor():
+    sim, medium, links = setup_net(n=3)
+    churn = ChurnModel(sim, medium, links, interval=0.5, min_present=3)
+    churn.start()
+    sim.run(until=30.0)
+    assert all(medium._radios[l].enabled for l in links)

@@ -1,0 +1,105 @@
+"""Unit tests for placement generators and connectivity analysis."""
+
+import numpy as np
+import pytest
+
+from repro.phy.topology import (
+    adjacency,
+    chain_positions,
+    clustered_positions,
+    connected_uniform_positions,
+    connectivity_graph,
+    grid_positions,
+    hop_count,
+    is_connected,
+    uniform_positions,
+)
+from repro.sim.rng import SimRNG
+
+
+def test_chain_positions_spacing():
+    pts = chain_positions(5, 100.0)
+    assert pts.shape == (5, 2)
+    assert np.allclose(pts[:, 1], 0)
+    assert np.allclose(np.diff(pts[:, 0]), 100.0)
+
+
+def test_chain_gives_exact_hop_counts():
+    pts = chain_positions(6, 200.0)
+    assert hop_count(pts, 250.0, 0, 5) == 5
+    assert hop_count(pts, 450.0, 0, 5) == 3  # range covers 2 links
+
+
+def test_grid_positions():
+    pts = grid_positions(9, 10.0)
+    assert pts.shape == (9, 2)
+    assert tuple(pts[4]) == (10.0, 10.0)  # centre of 3x3
+    pts7 = grid_positions(7, 10.0)  # non-square count
+    assert pts7.shape == (7, 2)
+
+
+def test_uniform_positions_bounds():
+    rng = SimRNG(1, "t")
+    pts = uniform_positions(50, (200.0, 100.0), rng)
+    assert pts.shape == (50, 2)
+    assert (pts[:, 0] < 200).all() and (pts[:, 1] < 100).all()
+    assert (pts >= 0).all()
+
+
+def test_clustered_positions_clipped_to_area():
+    rng = SimRNG(2, "t")
+    pts = clustered_positions(40, 3, (100.0, 100.0), 30.0, rng)
+    assert pts.shape == (40, 2)
+    assert (pts >= 0).all() and (pts <= 100).all()
+
+
+def test_generators_reject_bad_args():
+    rng = SimRNG(1, "t")
+    with pytest.raises(ValueError):
+        chain_positions(0, 10)
+    with pytest.raises(ValueError):
+        grid_positions(-1, 10)
+    with pytest.raises(ValueError):
+        uniform_positions(0, (10, 10), rng)
+    with pytest.raises(ValueError):
+        clustered_positions(10, 0, (10, 10), 1.0, rng)
+
+
+def test_adjacency_symmetric_no_self_loops():
+    pts = chain_positions(4, 100.0)
+    adj = adjacency(pts, 150.0)
+    assert (adj == adj.T).all()
+    assert not adj.diagonal().any()
+    assert adj[0, 1] and not adj[0, 2]
+
+
+def test_connectivity_graph_matches_adjacency():
+    pts = chain_positions(4, 100.0)
+    g = connectivity_graph(pts, 150.0)
+    assert g[0] == [1]
+    assert g[1] == [0, 2]
+
+
+def test_is_connected():
+    assert is_connected(chain_positions(5, 100.0), 150.0)
+    assert not is_connected(chain_positions(5, 100.0), 50.0)
+    assert is_connected(np.zeros((1, 2)), 1.0)
+    assert is_connected(np.zeros((0, 2)), 1.0)
+
+
+def test_hop_count_unreachable():
+    pts = np.array([[0.0, 0.0], [1000.0, 0.0]])
+    assert hop_count(pts, 100.0, 0, 1) == -1
+    assert hop_count(pts, 100.0, 0, 0) == 0
+
+
+def test_connected_uniform_positions_connected():
+    rng = SimRNG(3, "t")
+    pts = connected_uniform_positions(15, (400.0, 400.0), 200.0, rng)
+    assert is_connected(pts, 200.0)
+
+
+def test_connected_uniform_positions_gives_up():
+    rng = SimRNG(3, "t")
+    with pytest.raises(RuntimeError):
+        connected_uniform_positions(30, (100000.0, 100000.0), 10.0, rng, max_tries=3)

@@ -1,0 +1,134 @@
+"""Integration tests for route maintenance: RERR handling (Section 3.4)."""
+
+import pytest
+
+from tests.conftest import chain_scenario
+
+
+def bootstrapped(n=5, seed=7, **config):
+    sc = chain_scenario(n=n, seed=seed, **config).build()
+    sc.bootstrap_all()
+    return sc
+
+
+def break_link(sc, node):
+    """Physically remove a node from radio range."""
+    sc.medium.set_position(node.link_id, (99999.0, 99999.0))
+
+
+def test_broken_link_generates_verified_rerr():
+    sc = bootstrapped(n=5)
+    a, b = sc.hosts[0], sc.hosts[4]
+    a.router.send_data(b.ip, b"warm-up")
+    sc.run(duration=5.0)
+    assert sc.metrics.delivered(a.ip, b.ip) == 1
+
+    break_link(sc, sc.hosts[3])  # the relay next to the destination
+    failed = []
+    a.router.send_data(b.ip, b"doomed", on_failed=lambda: failed.append(1))
+    sc.run(duration=20.0)
+    assert sc.metrics.verdicts["rerr.accepted"] >= 1
+    assert sc.metrics.rerrs_received >= 1
+    # Chain topology has no alternate path: the packet ultimately fails.
+    assert failed == [1]
+
+
+def test_rerr_invalidates_cached_route():
+    sc = bootstrapped(n=5)
+    a, b = sc.hosts[0], sc.hosts[4]
+    a.router.send_data(b.ip, b"warm-up")
+    sc.run(duration=5.0)
+    assert a.router.cache.has_route(b.ip, sc.sim.now)
+    break_link(sc, sc.hosts[3])
+    a.router.send_data(b.ip, b"doomed")
+    sc.run(duration=20.0)
+    assert not a.router.cache.has_route(b.ip, sc.sim.now)
+
+
+def test_offpath_forged_rerr_rejected():
+    """A RERR whose reporter is not on any of S's routes is rejected."""
+    sc = bootstrapped(n=5)
+    a, b = sc.hosts[0], sc.hosts[4]
+    a.router.send_data(b.ip, b"warm-up")
+    sc.run(duration=5.0)
+
+    # n3 is ON the route; craft a report from a node NOT on it: use the
+    # DNS node's identity -- it is configured but never relays for a->b.
+    mallory = sc.dns_node
+    from repro.messages import signing
+    from repro.messages.routing import RERR
+
+    rerr = RERR(
+        reporter_ip=mallory.ip,
+        broken_next_hop=b.ip,
+        signature=mallory.sign(signing.rerr_payload(mallory.ip, b.ip)),
+        public_key=mallory.public_key,
+        rn=mallory.cga_params.rn,
+        sip=a.ip,
+        return_route=(),
+    )
+    # Deliver straight to the source (the DNS is out of radio range of n0;
+    # an attacker would route it -- transport is irrelevant to the check).
+    from repro.phy.medium import Frame
+
+    a._on_frame(Frame(mallory.link_id, a.link_id, mallory.ip, rerr, 10))
+    sc.run(duration=2.0)
+    assert sc.metrics.verdicts["rerr.rejected.not_on_route"] >= 1
+    assert a.router.cache.has_route(b.ip, sc.sim.now)  # route survives
+
+
+def test_rerr_with_forged_identity_rejected():
+    """A RERR claiming another node's IP fails the CGA check at S."""
+    sc = bootstrapped(n=5)
+    a, b = sc.hosts[0], sc.hosts[4]
+    a.router.send_data(b.ip, b"warm-up")
+    sc.run(duration=5.0)
+
+    on_path = sc.hosts[2]   # victim identity (on the route)
+    mallory = sc.hosts[1]   # attacker (also on path, but lies about who it is)
+    from repro.messages import signing
+    from repro.messages.routing import RERR
+
+    rerr = RERR(
+        reporter_ip=on_path.ip,  # claimed identity != attacker's key
+        broken_next_hop=sc.hosts[3].ip,
+        signature=mallory.sign(signing.rerr_payload(on_path.ip, sc.hosts[3].ip)),
+        public_key=mallory.public_key,
+        rn=mallory.cga_params.rn,
+        sip=a.ip,
+        return_route=(),
+    )
+    mallory.unicast_ip(a.ip, rerr)
+    sc.run(duration=2.0)
+    assert sc.metrics.verdicts["rerr.rejected.bad_cga"] >= 1
+    assert a.router.cache.has_route(b.ip, sc.sim.now)
+
+
+def test_replayed_rerr_after_route_rediscovery_is_harmless():
+    """Replaying an old RERR can only re-kill an already-dead route."""
+    sc = bootstrapped(n=5)
+    a, b = sc.hosts[0], sc.hosts[4]
+    a.router.send_data(b.ip, b"warm-up")
+    sc.run(duration=5.0)
+    break_link(sc, sc.hosts[3])
+    a.router.send_data(b.ip, b"doomed")
+    sc.run(duration=20.0)
+    rerrs = [e.payload for e in sc.trace.events
+             if e.kind == "recv" and e.msg_type == "RERR" and e.node == a.name]
+    assert rerrs
+    # Heal the network and rediscover.
+    sc.medium.set_position(sc.hosts[3].link_id, (600.0, 0.0))
+    a.router.send_data(b.ip, b"healed")
+    sc.run(duration=20.0)
+    assert sc.metrics.delivered(a.ip, b.ip) == 2
+
+    # Replay the captured RERR: reporter n2 IS on the rediscovered route
+    # (chain!), so S accepts and rediscovers -- the paper's analysis:
+    # "replay attacks make no sense" because the route is simply found
+    # again; data keeps flowing.
+    from repro.phy.medium import Frame
+
+    a._on_frame(Frame(sc.hosts[1].link_id, a.link_id, sc.hosts[1].ip, rerrs[-1], 10))
+    a.router.send_data(b.ip, b"after-replay")
+    sc.run(duration=20.0)
+    assert sc.metrics.delivered(a.ip, b.ip) == 3

@@ -1,0 +1,135 @@
+"""Unit tests for Timer and PeriodicTimer."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import PeriodicTimer, Timer
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, fired.append, "x")
+    t.start(2.0)
+    sim.run()
+    assert fired == ["x"]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, fired.append, "x")
+    t.start(2.0)
+    t.cancel()
+    sim.run()
+    assert fired == []
+    assert not t.armed
+
+
+def test_timer_restart_supersedes_old_deadline():
+    sim = Simulator()
+    fired = []
+    t = Timer(sim, lambda: fired.append(sim.now))
+    t.start(5.0)
+    t.start(1.0)  # restart: old 5s deadline must not fire
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_timer_armed_and_deadline():
+    sim = Simulator()
+    t = Timer(sim, lambda: None)
+    assert not t.armed and t.deadline is None
+    t.start(3.0)
+    assert t.armed and t.deadline == 3.0
+    sim.run()
+    assert not t.armed
+
+
+def test_timer_can_rearm_from_callback():
+    sim = Simulator()
+    fired = []
+
+    def cb():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            t.start(1.0)
+
+    t = Timer(sim, cb)
+    t.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_timer_ticks_at_interval():
+    sim = Simulator()
+    times = []
+    pt = PeriodicTimer(sim, 2.0, lambda: times.append(sim.now))
+    pt.start()
+    sim.run(until=7.0)
+    assert times == [2.0, 4.0, 6.0]
+    assert pt.ticks == 3
+
+
+def test_periodic_timer_initial_delay():
+    sim = Simulator()
+    times = []
+    pt = PeriodicTimer(sim, 2.0, lambda: times.append(sim.now))
+    pt.start(initial_delay=0.5)
+    sim.run(until=5.0)
+    assert times == [0.5, 2.5, 4.5]
+
+
+def test_periodic_timer_stop():
+    sim = Simulator()
+    times = []
+    pt = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+    pt.start()
+    sim.schedule(3.5, pt.stop)
+    sim.run(until=10.0)
+    assert times == [1.0, 2.0, 3.0]
+    assert not pt.running
+
+
+def test_periodic_timer_stop_from_callback():
+    sim = Simulator()
+    count = []
+
+    def cb():
+        count.append(1)
+        if len(count) == 2:
+            pt.stop()
+
+    pt = PeriodicTimer(sim, 1.0, cb)
+    pt.start()
+    sim.run(until=10.0)
+    assert len(count) == 2
+
+
+def test_periodic_timer_jitter_bounds():
+    sim = Simulator(seed=3)
+    times = []
+    pt = PeriodicTimer(sim, 10.0, lambda: times.append(sim.now), jitter=0.1)
+    pt.start()
+    sim.run(until=100.0)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    assert all(9.0 <= g <= 11.0 for g in gaps)
+    assert len(set(gaps)) > 1  # actually jittered
+
+
+def test_periodic_timer_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 1.0, lambda: None, jitter=1.0)
+
+
+def test_periodic_timer_double_start_ignored():
+    sim = Simulator()
+    times = []
+    pt = PeriodicTimer(sim, 1.0, lambda: times.append(sim.now))
+    pt.start()
+    pt.start()
+    sim.run(until=2.5)
+    assert times == [1.0, 2.0]

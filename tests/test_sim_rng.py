@@ -1,0 +1,129 @@
+"""Unit tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SimRNG, derive_seed
+
+
+def test_same_seed_same_stream_reproduces():
+    a = SimRNG(42, "x")
+    b = SimRNG(42, "x")
+    assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+
+def test_different_streams_are_independent():
+    a = SimRNG(42, "x")
+    b = SimRNG(42, "y")
+    assert [a.random() for _ in range(8)] != [b.random() for _ in range(8)]
+
+
+def test_different_seeds_differ():
+    assert SimRNG(1, "x").random() != SimRNG(2, "x").random()
+
+
+def test_derive_seed_stable():
+    assert derive_seed(7, "abc") == derive_seed(7, "abc")
+    assert derive_seed(7, "abc") != derive_seed(7, "abd")
+
+
+def test_adding_stream_does_not_perturb_existing():
+    a1 = SimRNG(9, "a")
+    seq1 = [a1.random() for _ in range(5)]
+    # Interleave creation/draws on another stream.
+    a2 = SimRNG(9, "a")
+    other = SimRNG(9, "b")
+    seq2 = []
+    for _ in range(5):
+        other.random()
+        seq2.append(a2.random())
+    assert seq1 == seq2
+
+
+def test_uniform_bounds():
+    rng = SimRNG(1)
+    for _ in range(100):
+        v = rng.uniform(2.0, 3.0)
+        assert 2.0 <= v < 3.0
+
+
+def test_randint_inclusive_bounds():
+    rng = SimRNG(1)
+    values = {rng.randint(0, 3) for _ in range(200)}
+    assert values == {0, 1, 2, 3}
+
+
+def test_expovariate_positive_and_mean():
+    rng = SimRNG(1)
+    samples = [rng.expovariate(2.0) for _ in range(2000)]
+    assert all(s >= 0 for s in samples)
+    assert abs(np.mean(samples) - 0.5) < 0.05
+
+
+def test_expovariate_rejects_nonpositive_rate():
+    with pytest.raises(ValueError):
+        SimRNG(1).expovariate(0.0)
+
+
+def test_choice_and_empty_choice():
+    rng = SimRNG(1)
+    assert rng.choice([5]) == 5
+    with pytest.raises(ValueError):
+        rng.choice([])
+
+
+def test_sample_distinct():
+    rng = SimRNG(1)
+    out = rng.sample(list(range(10)), 5)
+    assert len(out) == len(set(out)) == 5
+    with pytest.raises(ValueError):
+        rng.sample([1, 2], 3)
+
+
+def test_shuffle_permutes_in_place():
+    rng = SimRNG(1)
+    lst = list(range(20))
+    rng.shuffle(lst)
+    assert sorted(lst) == list(range(20))
+
+
+def test_nonce_bits():
+    rng = SimRNG(1)
+    for _ in range(50):
+        assert 0 <= rng.nonce(64) < (1 << 64)
+    with pytest.raises(ValueError):
+        rng.nonce(63)
+
+
+def test_jitter_stays_nonnegative_and_bounded():
+    rng = SimRNG(1)
+    for _ in range(100):
+        v = rng.jitter(10.0, 0.2)
+        assert 8.0 <= v <= 12.0
+    assert rng.jitter(0.0) == 0.0
+
+
+def test_spawn_derives_independent_child():
+    parent = SimRNG(3, "root")
+    child = parent.spawn("kid")
+    assert child.stream == "root/kid"
+    assert SimRNG(3, "root/kid").random() == pytest.approx(child.random(), abs=0)
+
+
+def test_simulator_rng_streams_cached():
+    sim = Simulator(seed=5)
+    assert sim.rng("a") is sim.rng("a")
+    assert sim.rng("a") is not sim.rng("b")
+
+
+def test_uniform_array_shape_and_bounds():
+    rng = SimRNG(2)
+    arr = rng.uniform_array(0.0, 5.0, (10, 2))
+    assert arr.shape == (10, 2)
+    assert (arr >= 0).all() and (arr < 5).all()
+
+
+def test_negative_master_seed_rejected():
+    with pytest.raises(ValueError):
+        SimRNG(-1)

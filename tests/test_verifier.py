@@ -1,0 +1,125 @@
+"""Unit tests for the two-step identity verification."""
+
+import pytest
+
+from repro.bootstrap.verifier import IdentityCheck, verify_identity
+from repro.crypto.backend import get_backend
+from repro.ipv6.cga import cga_address, generate_cga
+from repro.messages import signing
+from repro.sim.rng import SimRNG
+
+
+@pytest.fixture(scope="module")
+def backend():
+    return get_backend("simsig")
+
+
+@pytest.fixture(scope="module")
+def identity(backend):
+    kp = backend.generate_keypair(b"verifier-tests")
+    addr, params = generate_cga(kp.public, SimRNG(1, "v"))
+    return kp, addr, params
+
+
+def test_valid_identity_passes(backend, identity):
+    kp, addr, params = identity
+    payload = signing.arep_payload(addr, 123)
+    sig = backend.sign(kp.private, payload)
+    check = verify_identity(backend, addr, kp.public, params.rn, sig, payload)
+    assert check
+    assert check.reason == ""
+
+
+def test_wrong_rn_fails_cga(backend, identity):
+    kp, addr, params = identity
+    payload = signing.arep_payload(addr, 123)
+    sig = backend.sign(kp.private, payload)
+    check = verify_identity(
+        backend, addr, kp.public, (params.rn + 1) % (1 << 64), sig, payload
+    )
+    assert not check and check.reason == "bad_cga"
+
+
+def test_invalid_rn_range_fails_cga_not_crash(backend, identity):
+    kp, addr, params = identity
+    payload = b"x"
+    check = verify_identity(backend, addr, kp.public, 1 << 64, b"", payload)
+    assert not check and check.reason == "bad_cga"
+
+
+def test_wrong_key_fails_cga(backend, identity):
+    kp, addr, params = identity
+    other = backend.generate_keypair(b"other")
+    payload = signing.arep_payload(addr, 123)
+    sig = backend.sign(other.private, payload)
+    check = verify_identity(backend, addr, other.public, params.rn, sig, payload)
+    assert not check and check.reason == "bad_cga"
+
+
+def test_impersonation_with_own_cga_but_foreign_address_fails(backend, identity):
+    """Attacker presents *its own* valid (PK, rn) but claims someone else's IP."""
+    kp, victim_addr, _ = identity
+    attacker = backend.generate_keypair(b"attacker")
+    att_addr, att_params = generate_cga(attacker.public, SimRNG(2, "a"))
+    payload = signing.arep_payload(victim_addr, 99)
+    sig = backend.sign(attacker.private, payload)
+    check = verify_identity(
+        backend, victim_addr, attacker.public, att_params.rn, sig, payload
+    )
+    assert not check and check.reason == "bad_cga"
+
+
+def test_valid_cga_but_bad_signature_fails(backend, identity):
+    kp, addr, params = identity
+    payload = signing.arep_payload(addr, 123)
+    check = verify_identity(
+        backend, addr, kp.public, params.rn, b"\x00" * 16, payload
+    )
+    assert not check and check.reason == "bad_signature"
+
+
+def test_signature_over_different_payload_fails(backend, identity):
+    """Challenge binding: a signature over ch=1 never validates ch=2."""
+    kp, addr, params = identity
+    sig = backend.sign(kp.private, signing.arep_payload(addr, 1))
+    check = verify_identity(
+        backend, addr, kp.public, params.rn, sig, signing.arep_payload(addr, 2)
+    )
+    assert not check and check.reason == "bad_signature"
+
+
+def test_cross_context_signature_rejected(backend, identity):
+    """Domain separation: an SRR-entry signature can't pose as a RERR proof."""
+    kp, addr, params = identity
+    srr_sig = backend.sign(kp.private, signing.srr_entry_payload(addr, 5))
+    rerr_payload = signing.rerr_payload(addr, addr)
+    check = verify_identity(backend, addr, kp.public, params.rn, srr_sig, rerr_payload)
+    assert not check and check.reason == "bad_signature"
+
+
+def test_custom_verify_fn_is_used(backend, identity):
+    kp, addr, params = identity
+    payload = signing.arep_payload(addr, 123)
+    sig = backend.sign(kp.private, payload)
+    calls = []
+
+    def spy(public, data, signature):
+        calls.append(1)
+        return backend.verify(public, data, signature)
+
+    assert verify_identity(backend, addr, kp.public, params.rn, sig, payload, verify_fn=spy)
+    assert calls == [1]
+
+
+def test_identity_check_bool():
+    assert bool(IdentityCheck(True)) is True
+    assert bool(IdentityCheck(False, "x")) is False
+
+
+def test_works_with_rsa_backend():
+    rsa = get_backend("rsa")
+    kp = rsa.generate_keypair(b"rsa-verify")
+    addr, params = generate_cga(kp.public, SimRNG(3, "r"))
+    payload = signing.rreq_source_payload(addr, 7)
+    sig = rsa.sign(kp.private, payload)
+    assert verify_identity(rsa, addr, kp.public, params.rn, sig, payload)
