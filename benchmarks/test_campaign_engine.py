@@ -1,0 +1,75 @@
+"""Campaign engine overhead: spec expansion and sweep throughput.
+
+The campaign engine's promise is that orchestration is free relative to
+the simulations it shards: expanding a few-hundred-run matrix must be
+instant, and a parallel sweep must not lose runs or determinism.  The
+benchmark times matrix expansion; the assertions pin the engine's
+contract (full cartesian coverage, unique deterministic seeds, inline
+sweep delivering every record).
+"""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignSpec, run_campaign
+
+from _harness import print_rows
+
+
+def _matrix_spec(replicates: int = 2) -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "bench",
+        "seed": 11,
+        "replicates": replicates,
+        "base": {
+            "topology": {"kind": "chain", "n": 3, "spacing": 200.0},
+            "radio": {"range": 250.0},
+            "dns": {"position": None},
+        },
+        "axes": {
+            "router": ["secure", "plain", "endpoint"],
+            "topology.n": [3, 4, 5, 6],
+            "radio.loss_rate": [0.0, 0.05, 0.1],
+            "config.hostile_mode": [True, False],
+        },
+        "workload": {"kind": "cbr", "flows": 1, "interval": 1.0, "count": 3},
+        "duration": 8.0,
+        "timeout": 60.0,
+    })
+
+
+def test_expansion_covers_grid_with_unique_seeds(benchmark):
+    spec = _matrix_spec(replicates=2)
+    runs = benchmark(spec.expand)
+    assert len(runs) == 3 * 4 * 3 * 2 * 2  # axes product x replicates
+    assert len({r.seed for r in runs}) == len(runs)
+    assert len({r.run_id for r in runs}) == len(runs)
+    print_rows(
+        "Campaign expansion",
+        ["matrix", "runs"],
+        [["3 routers x 4 sizes x 3 loss x 2 modes x 2 reps", len(runs)]],
+    )
+
+
+def test_small_sweep_executes_every_run():
+    spec = CampaignSpec.from_dict({
+        "name": "bench-exec",
+        "seed": 4,
+        "base": {
+            "topology": {"kind": "chain", "n": 3, "spacing": 200.0},
+            "radio": {"range": 250.0},
+            "dns": {"position": None},
+        },
+        "axes": {"router": ["secure", "plain"]},
+        "workload": {"kind": "cbr", "flows": 1, "interval": 1.0, "count": 3},
+        "duration": 8.0,
+        "timeout": 60.0,
+    })
+    records = run_campaign(spec, workers=1)
+    assert [r["status"] for r in records] == ["ok", "ok"]
+    rows = [
+        [r["params"]["router"], f"{r['summary']['pdr']:.2f}",
+         r["summary"]["control_bytes"]]
+        for r in records
+    ]
+    print_rows("Campaign sweep (2 runs, inline)",
+               ["router", "PDR", "control bytes"], rows)

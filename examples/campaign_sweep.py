@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Campaign engine walkthrough: a 3-axis sweep on 4 workers.
+
+Reproduces a slice of the paper's evaluation matrix as one declarative
+campaign: network size x router security level x radio loss rate, two
+replicates each, with a forging black hole in every scenario.  The runs
+execute across a 4-process pool, each with its own deterministic seed,
+and the aggregate shows the secure router holding delivery where plain
+DSR degrades.
+
+Set REPRO_EXAMPLE_FAST=1 to shrink the sweep (used by the smoke tests).
+
+Run:  python examples/campaign_sweep.py
+"""
+
+import os
+
+from repro.campaign import CampaignSpec, aggregate, report_text, run_campaign
+
+
+def build_spec(fast: bool = False) -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "sweep-demo",
+        "seed": 2003,
+        "replicates": 1 if fast else 2,
+        "base": {
+            # Short path n0 -(black hole)- n1, honest 3-hop detour above.
+            "topology": {"kind": "positions",
+                         "points": [[0.0, 0.0], [400.0, 0.0],
+                                    [100.0, 150.0], [300.0, 150.0]]},
+            "radio": {"range": 250.0, "loss_rate": 0.0},
+            "dns": {"position": [200.0, -400.0]},
+        },
+        "axes": {
+            # axis 1: security level
+            "router": ["secure", "plain"],
+            # axis 2: network size (grid overrides the base positions)
+            "topology": [
+                {"kind": "positions",
+                 "points": [[0.0, 0.0], [400.0, 0.0],
+                            [100.0, 150.0], [300.0, 150.0]]},
+            ] if fast else [
+                {"kind": "positions",
+                 "points": [[0.0, 0.0], [400.0, 0.0],
+                            [100.0, 150.0], [300.0, 150.0]]},
+                {"kind": "grid", "n": 9, "spacing": 180.0},
+            ],
+            # axis 3: radio loss
+            "radio.loss_rate": [0.0] if fast else [0.0, 0.05, 0.1],
+        },
+        "adversaries": [
+            {"kind": "blackhole", "position": [200.0, 0.0],
+             "forge_rreps": True},
+        ],
+        "workload": {"kind": "cbr", "pairs": [[0, 1]],
+                     "interval": 1.0, "count": 4 if fast else 10},
+        "duration": 10.0 if fast else 30.0,
+        "timeout": 120.0,
+    })
+
+
+def main() -> None:
+    fast = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+    spec = build_spec(fast=fast)
+    workers = 2 if fast else 4
+    records = run_campaign(spec, workers=workers, echo=print)
+
+    print()
+    print(report_text(aggregate(records)))
+    print(
+        "\nReading: with the forging black hole parked on the shortest\n"
+        "path, the 'secure' rows keep delivering (forgeries fail the CGA\n"
+        "check and credit routes around the attacker) while the 'plain'\n"
+        "rows lose first-attempt traffic, and loss-rate adds latency to\n"
+        "both.  Persist a run with `python -m repro.campaign run` and\n"
+        "gate future PRs on it with `compare`."
+    )
+
+
+if __name__ == "__main__":
+    main()

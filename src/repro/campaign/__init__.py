@@ -1,0 +1,37 @@
+"""Campaign engine: sharded parallel scenario sweeps.
+
+The paper's evaluation is a *grid* of scenarios (topology x mobility x
+attacker mix x traffic load); this subsystem makes that grid a
+first-class artifact:
+
+* :class:`~repro.campaign.spec.CampaignSpec` declares sweeps (cartesian
+  axes + random samples over :class:`~repro.scenarios.ScenarioBuilder`
+  knobs, replicate counts, workloads, adversary mixes);
+* :func:`~repro.campaign.runner.run_campaign` executes the expanded run
+  matrix across a multiprocessing pool with per-run deterministic seeds
+  (:func:`repro.sim.rng.spawn_seed`) and timeout/failure isolation;
+* :mod:`~repro.campaign.aggregate` persists per-run summaries as JSONL
+  and reduces them to a grouped report;
+* :mod:`~repro.campaign.baseline` diffs two result sets to catch
+  PDR/latency regressions across PRs;
+* ``python -m repro.campaign run|report|compare`` drives it all from
+  the shell.
+"""
+
+from repro.campaign.aggregate import aggregate, load_results, report_text, write_jsonl
+from repro.campaign.baseline import compare, comparison_text
+from repro.campaign.runner import execute_run, run_campaign
+from repro.campaign.spec import CampaignSpec, RunSpec
+
+__all__ = [
+    "CampaignSpec",
+    "RunSpec",
+    "aggregate",
+    "compare",
+    "comparison_text",
+    "execute_run",
+    "load_results",
+    "report_text",
+    "run_campaign",
+    "write_jsonl",
+]

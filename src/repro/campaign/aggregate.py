@@ -1,0 +1,144 @@
+"""Aggregation of campaign run records into reports and JSONL files.
+
+Records are grouped by their sweep parameters (replicates of the same
+grid point share a group) and each numeric summary column is reduced to
+mean/min/max.  Everything is JSON-clean and deterministically ordered,
+so reports diff cleanly across PRs and double as regression baselines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.metrics.reports import format_table
+
+#: Columns shown in the human-readable report table (all columns are
+#: still present in ``report.json``).
+TABLE_METRICS = [
+    "pdr",
+    "latency_p50",
+    "latency_p95",
+    "control_bytes",
+    "crypto_ops_total",
+    "bootstrap_time_mean",
+]
+
+
+def write_jsonl(path, records: list[dict]) -> None:
+    """One sorted-key JSON object per line; byte-stable for diffing."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path) -> list[dict]:
+    records = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def load_results(path) -> list[dict]:
+    """Load records from a results file or a campaign output directory."""
+    if os.path.isdir(path):
+        path = os.path.join(path, "results.jsonl")
+    return read_jsonl(path)
+
+
+def group_key(record: dict) -> str:
+    """Stable grouping key: the sweep parameters, canonically encoded."""
+    return json.dumps(record.get("params", {}), sort_keys=True)
+
+
+def aggregate(records: list[dict]) -> dict:
+    """Reduce records to per-group mean/min/max of every summary column."""
+    ok = [r for r in records if r.get("status") == "ok"]
+    failed = [r for r in records if r.get("status") != "ok"]
+
+    grouped: dict[str, list[dict]] = {}
+    for record in ok:
+        grouped.setdefault(group_key(record), []).append(record)
+
+    groups = []
+    for key in sorted(grouped):
+        members = grouped[key]
+        columns: dict[str, list[float]] = {}
+        for record in members:
+            for name, value in record["summary"].items():
+                if isinstance(value, (int, float)):
+                    columns.setdefault(name, []).append(float(value))
+        metrics = {
+            name: {
+                "mean": sum(vals) / len(vals),
+                "min": min(vals),
+                "max": max(vals),
+            }
+            for name, vals in sorted(columns.items())
+        }
+        groups.append({
+            "params": json.loads(key),
+            "runs": len(members),
+            "metrics": metrics,
+        })
+
+    return {
+        "runs": len(records),
+        "ok": len(ok),
+        "failed": [
+            {"run_id": r["run_id"], "status": r["status"],
+             "error": r.get("error", "")}
+            for r in failed
+        ],
+        "groups": groups,
+    }
+
+
+def _value_label(value) -> str:
+    if isinstance(value, dict):
+        # compact structured values: show the discriminating fields only
+        kind = value.get("kind")
+        if kind is not None:
+            extras = [f"{k}={value[k]}" for k in ("n", "clusters") if k in value]
+            return f"{kind}({', '.join(extras)})" if extras else str(kind)
+        return json.dumps(value, sort_keys=True)
+    if isinstance(value, list):
+        return f"[{len(value)} item(s)]" if value and isinstance(value[0], dict) \
+            else json.dumps(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def _params_label(params: dict) -> str:
+    if not params:
+        return "(base)"
+    return " ".join(f"{k}={_value_label(params[k])}" for k in sorted(params))
+
+
+def report_text(report: dict, metrics: list[str] | None = None) -> str:
+    """Fixed-width table of per-group means for the headline metrics."""
+    metrics = metrics or TABLE_METRICS
+    rows = []
+    for group in report["groups"]:
+        row = [_params_label(group["params"]), group["runs"]]
+        for name in metrics:
+            stat = group["metrics"].get(name)
+            row.append(f"{stat['mean']:.4g}" if stat else "-")
+        rows.append(row)
+    table = format_table(
+        ["params", "runs"] + metrics,
+        rows,
+        title=f"Campaign aggregate ({report['ok']}/{report['runs']} runs ok)",
+    )
+    if report["failed"]:
+        lines = [table, "", "Failed runs:"]
+        for failure in report["failed"]:
+            lines.append(
+                f"  {failure['run_id']}: {failure['status']} {failure['error']}"
+            )
+        return "\n".join(lines)
+    return table

@@ -1,0 +1,128 @@
+"""``python -m repro.campaign`` -- run, report and compare sweeps.
+
+Subcommands
+-----------
+run      Execute a campaign spec (JSON) across a worker pool and write
+         ``results.jsonl`` + aggregate reports to the output directory.
+         ``--baseline`` additionally gates on a previous results file
+         and exits non-zero on regression.
+report   Re-render the aggregate table from a results file/directory.
+compare  Diff two results files; exit 1 when regressions are found.
+
+Exit codes: 0 ok; 1 regression detected; 3 one or more runs failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.campaign.aggregate import aggregate, load_results, report_text
+from repro.campaign.baseline import compare, comparison_text
+from repro.campaign.runner import run_campaign
+from repro.campaign.spec import CampaignSpec
+
+
+def _cmd_run(args) -> int:
+    spec = CampaignSpec.from_file(args.spec)
+    out_dir = args.out or f"campaigns/{spec.name}"
+    records = run_campaign(
+        spec,
+        workers=args.workers,
+        out_dir=out_dir,
+        echo=None if args.quiet else print,
+    )
+    report = aggregate(records)
+    print()
+    print(report_text(report))
+
+    exit_code = 0
+    if report["failed"]:
+        exit_code = 3
+    if args.baseline:
+        result = compare(
+            load_results(args.baseline), records,
+            pdr_tol=args.pdr_tol, latency_tol=args.latency_tol,
+        )
+        print()
+        print(comparison_text(result))
+        # failed runs (exit 3) outrank a metrics regression (exit 1):
+        # a run that no longer executes is the stronger signal
+        if result["regressions"] and exit_code == 0:
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_report(args) -> int:
+    records = load_results(args.results)
+    report = aggregate(records)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(report_text(report))
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    result = compare(
+        load_results(args.baseline), load_results(args.current),
+        pdr_tol=args.pdr_tol, latency_tol=args.latency_tol,
+    )
+    print(comparison_text(result))
+    return 1 if result["regressions"] else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.campaign",
+        description="Sharded parallel scenario sweeps with aggregation "
+                    "and regression baselines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a campaign spec")
+    p_run.add_argument("spec", help="path to a campaign spec JSON file")
+    p_run.add_argument("--workers", type=int, default=2,
+                       help="worker processes (<=1 runs inline; default 2)")
+    p_run.add_argument("--out", default=None,
+                       help="output directory (default campaigns/<name>)")
+    p_run.add_argument("--baseline", default=None,
+                       help="previous results.jsonl to gate against")
+    p_run.add_argument("--pdr-tol", type=float, default=0.02)
+    p_run.add_argument("--latency-tol", type=float, default=0.25)
+    p_run.add_argument("--quiet", action="store_true")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser("report", help="render the aggregate table")
+    p_report.add_argument("results", help="results.jsonl or campaign directory")
+    p_report.add_argument("--json", action="store_true",
+                          help="emit the full report as JSON")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_cmp = sub.add_parser("compare", help="diff two results files")
+    p_cmp.add_argument("baseline")
+    p_cmp.add_argument("current")
+    p_cmp.add_argument("--pdr-tol", type=float, default=0.02)
+    p_cmp.add_argument("--latency-tol", type=float, default=0.25)
+    p_cmp.set_defaults(func=_cmd_compare)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout was closed early (e.g. piped into head); not an error
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    except FileNotFoundError as exc:
+        print(f"error: {exc.filename or exc}: no such file", file=sys.stderr)
+        return 2
+    except (ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

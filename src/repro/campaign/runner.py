@@ -1,0 +1,311 @@
+"""Campaign execution: a run matrix over a multiprocessing worker pool.
+
+Each run is executed by :func:`execute_run`, a module-level function so
+it pickles cleanly into worker processes.  A run builds its scenario
+from the serialized spec, wires adversaries, bootstraps, drives the
+workload, and returns the run's :meth:`MetricsCollector.summary` as a
+flat record.
+
+Isolation guarantees:
+
+* **Determinism** -- a run's record depends only on its :class:`RunSpec`
+  (which embeds a :func:`~repro.sim.rng.spawn_seed`-derived seed), so
+  worker count and scheduling order never change results; the runner
+  additionally sorts records by run index before persisting.
+* **Failure isolation** -- an exception inside one run produces an
+  ``"error"`` record; the rest of the matrix still completes.
+* **Timeout isolation** -- each run arms a wall-clock deadline
+  (``SIGALRM``); a runaway run yields a ``"timeout"`` record instead of
+  wedging the campaign.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import multiprocessing
+import os
+import signal
+import threading
+from contextlib import contextmanager
+
+from repro.campaign.spec import CampaignSpec
+from repro.ipv6.address import IPv6Address
+from repro.scenarios import (
+    CBRTraffic,
+    PoissonTraffic,
+    RequestResponse,
+    ScenarioBuilder,
+    add_blackhole,
+    add_dns_impersonator,
+    add_forger,
+    add_identity_churner,
+    add_replayer,
+    add_rerr_spammer,
+)
+from repro.sim.rng import SimRNG
+
+#: Adversary kinds wireable from a campaign spec entry
+#: ``{"kind": ..., "position": [x, y], ...kwargs}``.
+ADVERSARY_REGISTRY = {
+    "blackhole": add_blackhole,
+    "rerr_spammer": add_rerr_spammer,
+    "forger": add_forger,
+    "replayer": add_replayer,
+    "dns_impersonator": add_dns_impersonator,
+    "identity_churner": add_identity_churner,
+}
+
+#: Adversary kwargs holding IPv6 addresses (serialized as strings).
+_ADDRESS_KWARGS = {"fake_answer", "spoof_hop_ip"}
+
+
+class RunTimeout(Exception):
+    """A run exceeded its wall-clock budget."""
+
+
+@contextmanager
+def deadline(seconds: float | None):
+    """Arm a SIGALRM-based wall-clock deadline around a block.
+
+    No-op when ``seconds`` is falsy, on platforms without ``SIGALRM``,
+    or off the main thread (``signal`` only works there); the
+    simulation itself is still bounded by virtual time in those cases.
+    """
+    usable = (
+        seconds is not None
+        and seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _raise(signum, frame):
+        raise RunTimeout(f"run exceeded {seconds:g}s wall-clock budget")
+
+    previous = signal.signal(signal.SIGALRM, _raise)
+    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _add_adversary(scenario, spec: dict) -> None:
+    spec = dict(spec)
+    kind = spec.pop("kind", None)
+    if kind not in ADVERSARY_REGISTRY:
+        raise ValueError(
+            f"unknown adversary kind {kind!r} "
+            f"(expected one of {sorted(ADVERSARY_REGISTRY)})"
+        )
+    position = tuple(spec.pop("position"))
+    for key in _ADDRESS_KWARGS & set(spec):
+        spec[key] = IPv6Address(spec[key])
+    ADVERSARY_REGISTRY[kind](scenario, position, **spec)
+
+
+def _workload_pairs(hosts: list, workload: dict, seed: int) -> list:
+    """Pick (src, dst) node pairs: explicit indices or seeded sampling."""
+    if "pairs" in workload:
+        return [(hosts[i], hosts[j]) for i, j in workload["pairs"]]
+    configured = [h for h in hosts if h.configured]
+    if len(configured) < 2:
+        return []
+    rng = SimRNG(seed, "campaign/workload")
+    pairs = []
+    for _ in range(int(workload.get("flows", 1))):
+        src = rng.choice(configured)
+        dst = rng.choice(configured)
+        while dst is src:
+            dst = rng.choice(configured)
+        pairs.append((src, dst))
+    return pairs
+
+
+#: Accepted workload keys (union over kinds); a typo'd campaign axis such
+#: as "workload.intervall" must error, not silently fall back to defaults.
+_WORKLOAD_KEYS = {"kind", "flows", "pairs", "interval", "rate", "count",
+                  "payload_size"}
+_BOOTSTRAP_KEYS = {"stagger"}
+
+
+def _start_workload(scenario, hosts: list, workload: dict, seed: int) -> list:
+    unknown = set(workload) - _WORKLOAD_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown workload keys: {sorted(unknown)} "
+            f"(allowed: {sorted(_WORKLOAD_KEYS)})"
+        )
+    kind = workload.get("kind", "cbr")
+    pairs = [(s, d) for s, d in _workload_pairs(hosts, workload, seed)
+             if s.configured and d.configured]
+    flows = []
+    for src, dst in pairs:
+        if kind == "cbr":
+            flows.append(CBRTraffic(
+                src, dst.ip,
+                interval=float(workload.get("interval", 1.0)),
+                count=int(workload.get("count", 10)),
+                payload_size=int(workload.get("payload_size", 64)),
+            ))
+        elif kind == "poisson":
+            flows.append(PoissonTraffic(
+                src, dst.ip,
+                rate=float(workload.get("rate", 1.0)),
+                count=int(workload.get("count", 10)),
+                payload_size=int(workload.get("payload_size", 64)),
+            ))
+        elif kind == "request_response":
+            flows.append(RequestResponse(
+                src, dst.ip,
+                count=int(workload.get("count", 5)),
+                interval=float(workload.get("interval", 2.0)),
+                payload_size=int(workload.get("payload_size", 128)),
+            ))
+        else:
+            raise ValueError(f"unknown workload kind {kind!r}")
+    return flows
+
+
+def _run_body(run: dict) -> dict:
+    scenario = ScenarioBuilder.from_spec(run["scenario"]).build()
+    honest = list(scenario.hosts)
+    for adversary in run.get("adversaries", []):
+        _add_adversary(scenario, adversary)
+
+    bootstrap = run.get("bootstrap", {})
+    unknown = set(bootstrap) - _BOOTSTRAP_KEYS
+    if unknown:
+        raise ValueError(
+            f"unknown bootstrap keys: {sorted(unknown)} "
+            f"(allowed: {sorted(_BOOTSTRAP_KEYS)})"
+        )
+    scenario.bootstrap_all(stagger=float(bootstrap.get("stagger", 0.25)))
+
+    _start_workload(scenario, honest, run.get("workload", {}), run["seed"])
+    scenario.run(duration=float(run.get("duration", 30.0)))
+
+    summary = scenario.metrics.summary()
+    summary["hosts"] = len(honest)
+    summary["configured_hosts"] = sum(1 for h in honest if h.configured)
+    return summary
+
+
+def execute_run(run: dict) -> dict:
+    """Execute one serialized :class:`RunSpec`; never raises.
+
+    Returns a flat record: identification fields plus either the run
+    summary (``status == "ok"``) or an error string.  Records contain
+    no wall-clock values, so reruns of the same spec+seed are
+    byte-identical.
+    """
+    record = {
+        "run_id": run["run_id"],
+        "index": run["index"],
+        "replicate": run["replicate"],
+        "seed": run["seed"],
+        "params": run["params"],
+        "status": "ok",
+    }
+    try:
+        with deadline(run.get("timeout")):
+            record["summary"] = _run_body(run)
+    except RunTimeout as exc:
+        record["status"] = "timeout"
+        record["error"] = str(exc)
+    except Exception as exc:  # noqa: BLE001 - isolation is the point
+        record["status"] = "error"
+        record["error"] = f"{type(exc).__name__}: {exc}"
+    return record
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 2,
+    out_dir=None,
+    echo=None,
+) -> list[dict]:
+    """Execute every run of ``spec`` and return sorted records.
+
+    ``workers <= 1`` runs inline (easier debugging, identical results).
+    When ``out_dir`` is given, writes ``results.jsonl`` (one sorted,
+    deterministic record per run), ``report.json``/``report.txt``
+    (aggregates), and ``spec.json`` (the expanded campaign spec, for
+    provenance).
+    """
+    from repro.campaign.aggregate import aggregate, report_text, write_jsonl
+
+    runs = spec.expand()
+    payloads = [r.to_dict() for r in runs]
+    say = echo or (lambda _msg: None)
+    say(f"campaign {spec.name!r}: {len(runs)} runs on {max(1, workers)} worker(s)")
+
+    if workers <= 1:
+        records = []
+        for payload in payloads:
+            records.append(execute_run(payload))
+            say(f"  [{len(records)}/{len(runs)}] {records[-1]['run_id']} "
+                f"{records[-1]['status']}")
+    else:
+        context = multiprocessing.get_context()
+        records = []
+        orphaned = []  # payloads whose worker died (pool became unusable)
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = {pool.submit(execute_run, p): p for p in payloads}
+            for future in concurrent.futures.as_completed(futures):
+                try:
+                    record = future.result()
+                except Exception:  # worker died (OOM-kill, segfault): the
+                    # pool is broken and every pending future fails with it;
+                    # execute_run can't catch process death from inside
+                    orphaned.append(futures[future])
+                    continue
+                records.append(record)
+                say(f"  [{len(records)}/{len(runs)}] {record['run_id']} "
+                    f"{record['status']}")
+        # Retry each orphan in its own fresh single-worker pool: innocent
+        # bystanders of the breakage complete normally, and the run that
+        # actually kills its worker only takes its private pool with it.
+        for payload in sorted(orphaned, key=lambda p: p["index"]):
+            try:
+                with concurrent.futures.ProcessPoolExecutor(
+                    max_workers=1, mp_context=context
+                ) as retry_pool:
+                    record = retry_pool.submit(execute_run, payload).result()
+            except Exception as exc:
+                record = {
+                    "run_id": payload["run_id"],
+                    "index": payload["index"],
+                    "replicate": payload["replicate"],
+                    "seed": payload["seed"],
+                    "params": payload["params"],
+                    "status": "error",
+                    "error": f"worker died: {type(exc).__name__}: {exc}",
+                }
+            records.append(record)
+            say(f"  [{len(records)}/{len(runs)}] {record['run_id']} "
+                f"{record['status']} (retried)")
+
+    records.sort(key=lambda r: r["index"])
+
+    if out_dir is not None:
+        os.makedirs(out_dir, exist_ok=True)
+        write_jsonl(os.path.join(out_dir, "results.jsonl"), records)
+        report = aggregate(records)
+        report["campaign"] = spec.name
+        with open(os.path.join(out_dir, "report.json"), "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        with open(os.path.join(out_dir, "report.txt"), "w", encoding="utf-8") as fh:
+            fh.write(report_text(report) + "\n")
+        with open(os.path.join(out_dir, "spec.json"), "w", encoding="utf-8") as fh:
+            json.dump(spec.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        say(f"wrote {os.path.join(out_dir, 'results.jsonl')}")
+    return records

@@ -1,0 +1,244 @@
+"""Campaign specifications: declarative sweeps over scenario knobs.
+
+A :class:`CampaignSpec` describes a whole evaluation programme as data:
+a base scenario (the plain-dict form consumed by
+:meth:`repro.scenarios.ScenarioBuilder.from_spec`), a grid of axes to
+sweep, optional random samples, a traffic workload, an adversary mix,
+and a replicate count.  :meth:`CampaignSpec.expand` turns that into the
+concrete, fully-resolved list of :class:`RunSpec` the runner executes.
+
+Axis paths are dotted keys.  A path whose first segment is one of
+``workload``, ``adversaries``, ``bootstrap`` or ``duration`` overrides
+the run-level field; every other path indexes into the scenario spec::
+
+    "topology.n":         [9, 16, 25]          # scenario knob
+    "router":             ["secure", "plain"]  # scenario knob
+    "radio.loss_rate":    [0.0, 0.1]           # scenario knob
+    "workload.interval":  [0.5, 2.0]           # run knob
+    "adversaries":        [[], [BLACKHOLE]]    # run knob (attacker mix)
+
+Every run gets its own master seed via
+:func:`repro.sim.rng.spawn_seed`, so results depend only on
+``(campaign seed, run index)`` -- never on worker scheduling.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.sim.rng import SimRNG, spawn_seed
+
+#: Top-level axis segments that target the run rather than the scenario.
+_RUN_LEVEL_SEGMENTS = {"workload", "adversaries", "bootstrap", "duration"}
+
+_DEFAULT_WORKLOAD = {
+    "kind": "cbr",
+    "flows": 1,
+    "interval": 1.0,
+    "count": 10,
+    "payload_size": 64,
+}
+
+_DEFAULT_BOOTSTRAP = {"stagger": 0.25}
+
+_KNOWN_KEYS = {
+    "name", "seed", "replicates", "base", "axes", "samples",
+    "workload", "adversaries", "bootstrap", "duration", "timeout",
+}
+
+
+def set_by_path(target: dict, path: str, value) -> None:
+    """Set ``target['a']['b'] = value`` for path ``"a.b"``, creating dicts."""
+    parts = path.split(".")
+    node = target
+    for part in parts[:-1]:
+        node = node.setdefault(part, {})
+        if not isinstance(node, dict):
+            raise ValueError(f"axis path {path!r} descends into non-dict {part!r}")
+    node[parts[-1]] = value
+
+
+@dataclass
+class RunSpec:
+    """One fully-resolved run of the matrix; plain data, pickles cheaply."""
+
+    run_id: str
+    index: int
+    replicate: int
+    seed: int
+    params: dict
+    scenario: dict
+    workload: dict
+    adversaries: list
+    bootstrap: dict
+    duration: float
+    timeout: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunSpec":
+        return cls(**data)
+
+
+@dataclass
+class CampaignSpec:
+    """A declarative sweep; see the module docstring for the axis rules."""
+
+    name: str = "campaign"
+    seed: int = 0
+    replicates: int = 1
+    #: Base scenario spec (``ScenarioBuilder.from_spec`` format, sans seed).
+    base: dict = field(default_factory=dict)
+    #: Dotted path -> list of values; expanded as a full cartesian grid.
+    axes: dict = field(default_factory=dict)
+    #: Random sampling: ``{"count": N, "space": {path: [lo, hi] | {"choices": [...]}}}``.
+    samples: dict = field(default_factory=dict)
+    workload: dict = field(default_factory=lambda: dict(_DEFAULT_WORKLOAD))
+    adversaries: list = field(default_factory=list)
+    bootstrap: dict = field(default_factory=lambda: dict(_DEFAULT_BOOTSTRAP))
+    duration: float = 30.0
+    #: Per-run wall-clock budget (seconds); exceeded runs report "timeout".
+    timeout: float = 120.0
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        unknown = set(data) - _KNOWN_KEYS
+        if unknown:
+            raise ValueError(f"unknown campaign spec keys: {sorted(unknown)}")
+        if "base" not in data:
+            raise ValueError("campaign spec requires a 'base' scenario")
+        spec = cls(
+            name=str(data.get("name", "campaign")),
+            seed=int(data.get("seed", 0)),
+            replicates=int(data.get("replicates", 1)),
+            base=copy.deepcopy(data["base"]),
+            axes=copy.deepcopy(data.get("axes", {})),
+            samples=copy.deepcopy(data.get("samples", {})),
+            workload={**_DEFAULT_WORKLOAD, **data.get("workload", {})},
+            adversaries=copy.deepcopy(data.get("adversaries", [])),
+            bootstrap={**_DEFAULT_BOOTSTRAP, **data.get("bootstrap", {})},
+            duration=float(data.get("duration", 30.0)),
+            timeout=float(data.get("timeout", 120.0)),
+        )
+        if spec.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+        for path, values in spec.axes.items():
+            if not isinstance(values, list) or not values:
+                raise ValueError(f"axis {path!r} must map to a non-empty list")
+        return spec
+
+    @classmethod
+    def from_file(cls, path) -> "CampaignSpec":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "replicates": self.replicates,
+            "base": copy.deepcopy(self.base),
+            "axes": copy.deepcopy(self.axes),
+            "samples": copy.deepcopy(self.samples),
+            "workload": copy.deepcopy(self.workload),
+            "adversaries": copy.deepcopy(self.adversaries),
+            "bootstrap": copy.deepcopy(self.bootstrap),
+            "duration": self.duration,
+            "timeout": self.timeout,
+        }
+
+    # -- expansion -------------------------------------------------------
+    def _grid_points(self) -> list[dict]:
+        """Cartesian product of the axes, in sorted-key order."""
+        if not self.axes:
+            return [{}]
+        paths = sorted(self.axes)
+        points = []
+        for combo in itertools.product(*(self.axes[p] for p in paths)):
+            points.append(dict(zip(paths, combo)))
+        return points
+
+    def _sampled_points(self) -> list[dict]:
+        """Random points drawn deterministically from ``samples.space``."""
+        count = int(self.samples.get("count", 0))
+        space = self.samples.get("space", {})
+        if count <= 0 or not space:
+            return []
+        rng = SimRNG(self.seed, "campaign/samples")
+        points = []
+        for _ in range(count):
+            point = {}
+            for path in sorted(space):
+                domain = space[path]
+                if isinstance(domain, dict) and "choices" in domain:
+                    point[path] = rng.choice(domain["choices"])
+                elif (
+                    isinstance(domain, list)
+                    and len(domain) == 2
+                    and all(isinstance(v, (int, float)) for v in domain)
+                ):
+                    lo, hi = domain
+                    if isinstance(lo, int) and isinstance(hi, int):
+                        point[path] = rng.randint(lo, hi)
+                    else:
+                        point[path] = rng.uniform(float(lo), float(hi))
+                else:
+                    raise ValueError(
+                        f"sample space for {path!r} must be [lo, hi] or "
+                        "{'choices': [...]}"
+                    )
+            points.append(point)
+        return points
+
+    def expand(self) -> list[RunSpec]:
+        """The full run matrix: (grid + samples) x replicates.
+
+        With no axes declared, the grid contributes the single base
+        point -- unless random samples are requested, in which case the
+        samples alone define the matrix.
+        """
+        sampled = self._sampled_points()
+        grid = self._grid_points() if (self.axes or not sampled) else []
+        runs = []
+        index = 0
+        for params in grid + sampled:
+            for replicate in range(self.replicates):
+                seed = spawn_seed(self.seed, index)
+                scenario = copy.deepcopy(self.base)
+                run_level = {
+                    "workload": copy.deepcopy(self.workload),
+                    "adversaries": copy.deepcopy(self.adversaries),
+                    "bootstrap": copy.deepcopy(self.bootstrap),
+                    "duration": self.duration,
+                }
+                for path, value in params.items():
+                    head = path.split(".", 1)[0]
+                    if head in _RUN_LEVEL_SEGMENTS:
+                        if path == head:
+                            run_level[head] = copy.deepcopy(value)
+                        else:
+                            set_by_path(run_level, path, copy.deepcopy(value))
+                    else:
+                        set_by_path(scenario, path, copy.deepcopy(value))
+                scenario["seed"] = seed
+                runs.append(RunSpec(
+                    run_id=f"{self.name}-{index:04d}",
+                    index=index,
+                    replicate=replicate,
+                    seed=seed,
+                    params=copy.deepcopy(params),
+                    scenario=scenario,
+                    workload=run_level["workload"],
+                    adversaries=run_level["adversaries"],
+                    bootstrap=run_level["bootstrap"],
+                    duration=float(run_level["duration"]),
+                    timeout=self.timeout,
+                ))
+                index += 1
+        return runs

@@ -6,7 +6,7 @@ harness reads aggregated views out of
 :mod:`repro.metrics.reports`.
 """
 
-from repro.metrics.collector import MetricsCollector, FlowStats
+from repro.metrics.collector import MetricsCollector, FlowStats, percentile
 from repro.metrics.reports import (
     delivery_report,
     overhead_report,
@@ -17,6 +17,7 @@ from repro.metrics.reports import (
 __all__ = [
     "MetricsCollector",
     "FlowStats",
+    "percentile",
     "delivery_report",
     "overhead_report",
     "security_report",

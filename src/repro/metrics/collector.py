@@ -21,6 +21,26 @@ from dataclasses import dataclass, field
 from repro.ipv6.address import IPv6Address
 
 
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]); 0 when empty.
+
+    Pure python so the collector stays dependency-free and the result is
+    bit-stable across numpy versions (campaign baselines diff on it).
+    """
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("q must be in [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = (len(ordered) - 1) * (q / 100.0)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
 @dataclass
 class FlowStats:
     """Delivery bookkeeping for one (src, dst) data flow."""
@@ -160,3 +180,103 @@ class MetricsCollector:
     def mean_discovery_latency(self) -> float:
         lat = self.discovery_latencies
         return sum(lat) / len(lat) if lat else 0.0
+
+    # -- aggregation ------------------------------------------------------
+    def summary(self) -> dict:
+        """A flat, JSON-serializable digest of the whole run.
+
+        Every value is an int or float, so summaries can be written to
+        JSONL, diffed byte-for-byte across campaign replicates, and
+        averaged column-wise by the campaign aggregator.
+        """
+        latencies = [lat for f in self.flows.values() for lat in f.latencies]
+        data_sent = sum(f.sent for f in self.flows.values())
+        data_delivered = sum(f.delivered for f in self.flows.values())
+        boot_times = list(self.dad_time.values())
+        return {
+            # data plane
+            "flows": len(self.flows),
+            "data_sent": data_sent,
+            "data_delivered": data_delivered,
+            "data_acked": sum(f.acked for f in self.flows.values()),
+            "data_dropped": sum(f.dropped for f in self.flows.values()),
+            "pdr": data_delivered / data_sent if data_sent else 0.0,
+            "latency_mean": sum(latencies) / len(latencies) if latencies else 0.0,
+            "latency_p50": percentile(latencies, 50.0),
+            "latency_p95": percentile(latencies, 95.0),
+            # control overhead
+            "msgs_sent_total": sum(self.msgs_sent.values()),
+            "msgs_received_total": sum(self.msgs_received.values()),
+            "bytes_sent_total": sum(self.bytes_sent.values()),
+            "control_messages": self.control_messages(),
+            "control_bytes": self.control_bytes(),
+            # security
+            "verdicts_accepted": sum(
+                v for k, v in self.verdicts.items() if ".accepted" in k
+            ),
+            "verdicts_rejected": sum(
+                v for k, v in self.verdicts.items() if ".rejected" in k
+            ),
+            # crypto
+            "crypto_ops_total": sum(self.crypto_ops.values()),
+            "crypto_sign_ops": self.crypto_total("sign"),
+            "crypto_verify_ops": self.crypto_total("verify"),
+            # bootstrap
+            "configured_nodes": len(self.dad_time),
+            "dad_rounds_total": sum(self.dad_rounds.values()),
+            "bootstrap_time_mean": (
+                sum(boot_times) / len(boot_times) if boot_times else 0.0
+            ),
+            "bootstrap_time_max": max(boot_times) if boot_times else 0.0,
+            "collisions_detected": self.collisions_detected,
+            "name_conflicts_detected": self.name_conflicts_detected,
+            # route discovery
+            "discoveries_started": self.discoveries_started,
+            "discoveries_succeeded": self.discoveries_succeeded,
+            "discovery_latency_mean": self.mean_discovery_latency,
+            "discovery_latency_p95": percentile(self.discovery_latencies, 95.0),
+            "creps_used": self.creps_used,
+            "rerrs_received": self.rerrs_received,
+        }
+
+    @classmethod
+    def merge(cls, collectors) -> "MetricsCollector":
+        """Combine several collectors (e.g. one per campaign run) into one.
+
+        Counters sum, flow stats and latency lists concatenate.  The
+        per-node bootstrap dicts are keyed by node name, which repeats
+        across runs; ``dad_rounds`` sums on collision and ``dad_time``
+        keeps the worst (max) time, so the merged view stays a
+        conservative aggregate rather than silently overwriting.
+        """
+        merged = cls()
+        for coll in collectors:
+            for k, v in coll.msgs_sent.items():
+                merged.msgs_sent[k] += v
+            for k, v in coll.msgs_received.items():
+                merged.msgs_received[k] += v
+            for k, v in coll.bytes_sent.items():
+                merged.bytes_sent[k] += v
+            for key, st in coll.flows.items():
+                agg = merged.flows[key]
+                agg.sent += st.sent
+                agg.delivered += st.delivered
+                agg.acked += st.acked
+                agg.dropped += st.dropped
+                agg.latencies.extend(st.latencies)
+            for k, v in coll.verdicts.items():
+                merged.verdicts[k] += v
+            for k, v in coll.crypto_ops.items():
+                merged.crypto_ops[k] += v
+            for k, v in coll.dad_rounds.items():
+                merged.dad_rounds[k] += v
+            for k, v in coll.dad_time.items():
+                merged.dad_time[k] = max(v, merged.dad_time.get(k, 0.0))
+            merged.collisions_detected += coll.collisions_detected
+            merged.name_conflicts_detected += coll.name_conflicts_detected
+            merged.discoveries_started += coll.discoveries_started
+            merged.discoveries_succeeded += coll.discoveries_succeeded
+            merged.discovery_latencies.extend(coll.discovery_latencies)
+            merged.creps_used += coll.creps_used
+            merged.rerrs_received += coll.rerrs_received
+        return merged

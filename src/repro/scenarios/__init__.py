@@ -12,7 +12,13 @@ point for examples, tests and benchmarks::
     scenario.bootstrap_all()
 """
 
-from repro.scenarios.builder import Scenario, ScenarioBuilder
+from repro.scenarios.builder import (
+    ROUTER_REGISTRY,
+    Scenario,
+    ScenarioBuilder,
+    router_class,
+    router_name,
+)
 from repro.scenarios.workloads import CBRTraffic, PoissonTraffic, RequestResponse
 from repro.scenarios.attacks import (
     add_blackhole,
@@ -24,8 +30,11 @@ from repro.scenarios.attacks import (
 )
 
 __all__ = [
+    "ROUTER_REGISTRY",
     "Scenario",
     "ScenarioBuilder",
+    "router_class",
+    "router_name",
     "CBRTraffic",
     "PoissonTraffic",
     "RequestResponse",

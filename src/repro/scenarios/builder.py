@@ -13,6 +13,8 @@ formation, so it does not itself run DAD.
 
 from __future__ import annotations
 
+import copy
+
 import numpy as np
 
 from repro.bootstrap.autoconf import BootstrapManager
@@ -28,13 +30,69 @@ from repro.phy.medium import WirelessMedium
 from repro.phy.mobility import RandomWaypoint
 from repro.phy.topology import (
     chain_positions,
+    clustered_positions,
     connected_uniform_positions,
     grid_positions,
     uniform_positions,
 )
+from repro.routing.bsar_like import EndpointOnlyRouter
+from repro.routing.dsr import PlainDSRRouter
 from repro.routing.secure_dsr import SecureDSRRouter
 from repro.sim.kernel import Simulator
 from repro.trace.recorder import TraceRecorder
+
+#: Router classes addressable by short name in serialized specs.
+ROUTER_REGISTRY: dict[str, type] = {
+    "secure": SecureDSRRouter,
+    "plain": PlainDSRRouter,
+    "endpoint": EndpointOnlyRouter,
+}
+
+
+def router_class(name: str) -> type:
+    """Resolve a router spec name: registry short name or ``module:Qualname``."""
+    if name in ROUTER_REGISTRY:
+        return ROUTER_REGISTRY[name]
+    if ":" in name:
+        import importlib
+
+        mod_name, _, qualname = name.partition(":")
+        obj = importlib.import_module(mod_name)
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+        return obj
+    raise ValueError(
+        f"unknown router {name!r} (expected one of {sorted(ROUTER_REGISTRY)} "
+        "or 'module:Qualname')"
+    )
+
+
+def router_name(cls: type) -> str:
+    """Inverse of :func:`router_class`, for serializing a builder."""
+    for name, registered in ROUTER_REGISTRY.items():
+        if registered is cls:
+            return name
+    return f"{cls.__module__}:{cls.__qualname__}"
+
+
+#: Allowed keys per topology kind; a typo'd key in a spec (e.g. a campaign
+#: axis path) must fail loudly, not silently sweep nothing.
+_TOPOLOGY_KEYS: dict[str, set[str]] = {
+    "chain": {"n", "spacing"},
+    "grid": {"n", "spacing"},
+    "uniform": {"n", "area", "require_connected"},
+    "clustered": {"n", "clusters", "area", "cluster_std"},
+    "positions": {"points"},
+}
+
+
+def _check_keys(what: str, mapping: dict, allowed: set[str]) -> None:
+    unknown = set(mapping) - allowed
+    if unknown:
+        raise ValueError(
+            f"unknown {what} spec keys: {sorted(unknown)} "
+            f"(allowed: {sorted(allowed)})"
+        )
 
 
 class Scenario:
@@ -111,47 +169,97 @@ class ScenarioBuilder:
     def __init__(self, seed: int = 0):
         self.seed = seed
         self._config = NodeConfig()
+        self._config_overrides: dict = {}
         self._router_cls = SecureDSRRouter
         self._router_cls_by_name: dict[str, type] = {}
-        self._positions: np.ndarray | None = None
+        self._topology: dict | None = None
         self._radio_range = 250.0
         self._loss_rate = 0.0
         self._with_dns = False
         self._dns_position: tuple[float, float] | None = None
         self._dns_preregistrations: list[tuple[str, IPv6Address]] = []
         self._mobility: dict | None = None
-        self._area: tuple[float, float] | None = None
 
     # -- topology -------------------------------------------------------------
+    # Topology choices are stored declaratively and materialised in
+    # ``build()``, so a builder serializes losslessly (``to_spec``) and the
+    # radio range used by the uniform connectivity check is the final one
+    # regardless of fluent call order.
+
     def chain(self, n: int, spacing: float = 200.0) -> "ScenarioBuilder":
         """A line of ``n`` hosts; spacing < range => i hears only i±1."""
-        self._positions = chain_positions(n, spacing)
-        self._area = (max(1.0, (n - 1) * spacing), spacing)
+        self._topology = {"kind": "chain", "n": int(n), "spacing": float(spacing)}
         return self
 
     def grid(self, n: int, spacing: float = 180.0) -> "ScenarioBuilder":
-        self._positions = grid_positions(n, spacing)
-        side = int(np.ceil(np.sqrt(n)))
-        self._area = (side * spacing, side * spacing)
+        self._topology = {"kind": "grid", "n": int(n), "spacing": float(spacing)}
         return self
 
     def uniform(
         self, n: int, area: tuple[float, float], require_connected: bool = True
     ) -> "ScenarioBuilder":
-        rng_holder = Simulator(seed=self.seed).rng("placement")
-        if require_connected:
-            self._positions = connected_uniform_positions(
-                n, area, self._radio_range, rng_holder
-            )
-        else:
-            self._positions = uniform_positions(n, area, rng_holder)
-        self._area = area
+        self._topology = {
+            "kind": "uniform",
+            "n": int(n),
+            "area": [float(area[0]), float(area[1])],
+            "require_connected": bool(require_connected),
+        }
+        return self
+
+    def clustered(
+        self,
+        n: int,
+        clusters: int,
+        area: tuple[float, float],
+        cluster_std: float = 60.0,
+    ) -> "ScenarioBuilder":
+        """Gaussian clusters -- teams converging on a disaster site."""
+        self._topology = {
+            "kind": "clustered",
+            "n": int(n),
+            "clusters": int(clusters),
+            "area": [float(area[0]), float(area[1])],
+            "cluster_std": float(cluster_std),
+        }
         return self
 
     def positions(self, pts) -> "ScenarioBuilder":
         """Explicit (n, 2) placement."""
-        self._positions = np.asarray(pts, dtype=float)
+        points = np.asarray(pts, dtype=float)
+        self._topology = {"kind": "positions", "points": points.tolist()}
         return self
+
+    def _resolve_topology(self) -> tuple[np.ndarray, tuple[float, float] | None]:
+        """Materialise host positions and the mobility area from the spec."""
+        topo = self._topology
+        if topo is None:
+            raise ValueError("no topology chosen (use chain/grid/uniform/positions)")
+        kind = topo["kind"]
+        if kind == "chain":
+            n, spacing = topo["n"], topo["spacing"]
+            return chain_positions(n, spacing), (max(1.0, (n - 1) * spacing), spacing)
+        if kind == "grid":
+            n, spacing = topo["n"], topo["spacing"]
+            side = int(np.ceil(np.sqrt(n)))
+            return grid_positions(n, spacing), (side * spacing, side * spacing)
+        if kind == "uniform":
+            n, area = topo["n"], tuple(topo["area"])
+            rng = Simulator(seed=self.seed).rng("placement")
+            if topo["require_connected"]:
+                pts = connected_uniform_positions(n, area, self._radio_range, rng)
+            else:
+                pts = uniform_positions(n, area, rng)
+            return pts, area
+        if kind == "clustered":
+            area = tuple(topo["area"])
+            rng = Simulator(seed=self.seed).rng("placement")
+            pts = clustered_positions(
+                topo["n"], topo["clusters"], area, topo["cluster_std"], rng
+            )
+            return pts, area
+        if kind == "positions":
+            return np.asarray(topo["points"], dtype=float), None
+        raise ValueError(f"unknown topology kind {kind!r}")
 
     # -- radio ------------------------------------------------------------------
     def radio(self, radio_range: float = 250.0, loss_rate: float = 0.0) -> "ScenarioBuilder":
@@ -162,6 +270,7 @@ class ScenarioBuilder:
     # -- protocol ----------------------------------------------------------------
     def config(self, **overrides) -> "ScenarioBuilder":
         self._config = self._config.with_overrides(**overrides)
+        self._config_overrides.update(overrides)
         return self
 
     def router(self, router_cls, node_name: str | None = None) -> "ScenarioBuilder":
@@ -190,10 +299,114 @@ class ScenarioBuilder:
         self._mobility = {"kind": "rwp", "speed": speed, "pause": pause}
         return self
 
+    # -- serialization -----------------------------------------------------------
+    @classmethod
+    def from_spec(cls, spec: dict) -> "ScenarioBuilder":
+        """Rebuild a builder from a plain-dict spec (see :meth:`to_spec`).
+
+        Specs are JSON-clean, so campaign files and baselines can store
+        them verbatim; ``from_spec(b.to_spec())`` reproduces ``b``.
+        """
+        known = {
+            "seed", "topology", "radio", "config", "router",
+            "routers_by_name", "dns", "preregister", "mobility",
+        }
+        unknown = set(spec) - known
+        if unknown:
+            raise ValueError(f"unknown scenario spec keys: {sorted(unknown)}")
+        if "topology" not in spec:
+            raise ValueError("scenario spec requires a 'topology' entry")
+
+        builder = cls(seed=int(spec.get("seed", 0)))
+        radio = spec.get("radio", {})
+        _check_keys("radio", radio, {"range", "loss_rate"})
+        builder.radio(
+            radio_range=float(radio.get("range", 250.0)),
+            loss_rate=float(radio.get("loss_rate", 0.0)),
+        )
+        if spec.get("config"):
+            builder.config(**spec["config"])
+
+        topo = dict(spec["topology"])
+        kind = topo.pop("kind", None)
+        _check_keys(
+            f"topology[{kind}]", topo,
+            _TOPOLOGY_KEYS.get(kind, set(topo)),
+        )
+        if kind == "chain":
+            builder.chain(topo["n"], spacing=topo.get("spacing", 200.0))
+        elif kind == "grid":
+            builder.grid(topo["n"], spacing=topo.get("spacing", 180.0))
+        elif kind == "uniform":
+            builder.uniform(
+                topo["n"], tuple(topo["area"]),
+                require_connected=topo.get("require_connected", True),
+            )
+        elif kind == "clustered":
+            builder.clustered(
+                topo["n"], topo["clusters"], tuple(topo["area"]),
+                cluster_std=topo.get("cluster_std", 60.0),
+            )
+        elif kind == "positions":
+            builder.positions(topo["points"])
+        else:
+            raise ValueError(f"unknown topology kind {kind!r}")
+
+        builder.router(router_class(spec.get("router", "secure")))
+        for node_name, rname in spec.get("routers_by_name", {}).items():
+            builder.router(router_class(rname), node_name=node_name)
+        if "dns" in spec:
+            _check_keys("dns", spec["dns"], {"position"})
+            pos = spec["dns"].get("position")
+            builder.with_dns(tuple(pos) if pos is not None else None)
+        for name, ip in spec.get("preregister", []):
+            builder.preregister(name, IPv6Address(ip))
+        mob = spec.get("mobility")
+        if mob is not None:
+            if mob.get("kind") != "rwp":
+                raise ValueError(f"unknown mobility kind {mob.get('kind')!r}")
+            _check_keys("mobility", mob, {"kind", "speed", "pause"})
+            builder.random_waypoint(
+                speed=tuple(mob.get("speed", (1.0, 5.0))),
+                pause=float(mob.get("pause", 10.0)),
+            )
+        return builder
+
+    def to_spec(self) -> dict:
+        """Serialize this builder to a JSON-clean plain dict."""
+        if self._topology is None:
+            raise ValueError("no topology chosen (use chain/grid/uniform/positions)")
+        spec: dict = {
+            "seed": self.seed,
+            "topology": copy.deepcopy(self._topology),
+            "radio": {"range": self._radio_range, "loss_rate": self._loss_rate},
+            "router": router_name(self._router_cls),
+        }
+        if self._config_overrides:
+            spec["config"] = dict(self._config_overrides)
+        if self._router_cls_by_name:
+            spec["routers_by_name"] = {
+                name: router_name(rc)
+                for name, rc in self._router_cls_by_name.items()
+            }
+        if self._with_dns:
+            pos = self._dns_position
+            spec["dns"] = {"position": [float(pos[0]), float(pos[1])] if pos else None}
+        if self._dns_preregistrations:
+            spec["preregister"] = [
+                [name, str(ip)] for name, ip in self._dns_preregistrations
+            ]
+        if self._mobility:
+            spec["mobility"] = {
+                "kind": "rwp",
+                "speed": [float(s) for s in self._mobility["speed"]],
+                "pause": float(self._mobility["pause"]),
+            }
+        return spec
+
     # -- build -----------------------------------------------------------------------
     def build(self) -> Scenario:
-        if self._positions is None:
-            raise ValueError("no topology chosen (use chain/grid/uniform/positions)")
+        positions, area = self._resolve_topology()
         sim = Simulator(seed=self.seed)
         medium = WirelessMedium(
             sim, radio_range=self._radio_range, loss_rate=self._loss_rate
@@ -202,9 +415,7 @@ class ScenarioBuilder:
 
         dns_node = None
         if self._with_dns:
-            dns_pos = self._dns_position or tuple(
-                np.asarray(self._positions).mean(axis=0)
-            )
+            dns_pos = self._dns_position or tuple(positions.mean(axis=0))
             dns_node = self._make_node(ctx, "dns", dns_pos, SecureDSRRouter)
             # Server identity exists before network formation (paper
             # assumption): adopt a CGA immediately, no DAD.
@@ -217,7 +428,7 @@ class ScenarioBuilder:
                 server.preregister(name, addr)
 
         hosts = []
-        for i, pos in enumerate(np.asarray(self._positions)):
+        for i, pos in enumerate(positions):
             name = f"n{i}"
             router_cls = self._router_cls_by_name.get(name, self._router_cls)
             hosts.append(self._make_node(ctx, name, tuple(pos), router_cls))
@@ -225,8 +436,8 @@ class ScenarioBuilder:
         if self._mobility and self._mobility["kind"] == "rwp":
             mob = RandomWaypoint(
                 sim, medium, [h.link_id for h in hosts],
-                area=self._area or (1000.0, 1000.0),
-                speed_range=self._mobility["speed"],
+                area=area or (1000.0, 1000.0),
+                speed_range=tuple(self._mobility["speed"]),
                 pause=self._mobility["pause"],
             )
             mob.start()

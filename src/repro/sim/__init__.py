@@ -13,7 +13,7 @@ breaks timestamp ties by insertion order, and all randomness flows through
 """
 
 from repro.sim.kernel import Event, EventHandle, Simulator
-from repro.sim.rng import SimRNG
+from repro.sim.rng import SimRNG, derive_seed, spawn_seed
 from repro.sim.process import Timer, PeriodicTimer
 
 __all__ = [
@@ -21,6 +21,8 @@ __all__ = [
     "EventHandle",
     "Simulator",
     "SimRNG",
+    "derive_seed",
+    "spawn_seed",
     "Timer",
     "PeriodicTimer",
 ]

@@ -31,6 +31,19 @@ def derive_seed(master_seed: int, stream: str) -> int:
     return int.from_bytes(digest[:8], "big")
 
 
+def spawn_seed(master_seed: int, run_index: int) -> int:
+    """Derive an independent master seed for replicate run ``run_index``.
+
+    Campaign sweeps give every run its own 64-bit master seed so that
+    replicates are statistically independent yet exactly reproducible:
+    the result depends only on ``(master_seed, run_index)``, never on
+    which worker process executes the run or in what order.
+    """
+    if run_index < 0:
+        raise ValueError("run_index must be non-negative")
+    return derive_seed(master_seed, f"spawn/{run_index}")
+
+
 class SimRNG:
     """A named deterministic random stream.
 

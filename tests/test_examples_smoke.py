@@ -1,0 +1,49 @@
+"""Smoke tests: every script in examples/ must run clean.
+
+Each example executes as a real subprocess (the way users run them),
+with REPRO_EXAMPLE_FAST=1 so parameter-heavy examples shrink their
+workloads.  This keeps the documented entry points from silently
+rotting as the stack underneath them evolves.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+EXAMPLES_DIR = os.path.join(REPO_ROOT, "examples")
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_every_example_is_covered():
+    """If an example is added, it is smoke-tested automatically."""
+    assert "quickstart.py" in EXAMPLES
+    assert "campaign_sweep.py" in EXAMPLES
+    assert len(EXAMPLES) >= 5
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs_clean(script):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env["REPRO_EXAMPLE_FAST"] = "1"  # tiny parameter overrides where honored
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=REPO_ROOT,
+    )
+    assert result.returncode == 0, (
+        f"{script} exited {result.returncode}\n"
+        f"stdout:\n{result.stdout}\nstderr:\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,7 +1,11 @@
 """Unit tests for metrics collection and reports."""
 
+import json
+
+import pytest
+
 from repro.ipv6.address import IPv6Address
-from repro.metrics.collector import FlowStats, MetricsCollector
+from repro.metrics.collector import FlowStats, MetricsCollector, percentile
 from repro.metrics.reports import (
     crypto_report,
     delivery_report,
@@ -89,6 +93,81 @@ def test_format_table_alignment():
     assert len(lines) == 5
     # all data rows equally wide
     assert len(lines[3]) == len(lines[4])
+
+
+def test_percentile_interpolates():
+    assert percentile([], 95.0) == 0.0
+    assert percentile([3.0], 50.0) == 3.0
+    vals = [1.0, 2.0, 3.0, 4.0]
+    assert percentile(vals, 0.0) == 1.0
+    assert percentile(vals, 100.0) == 4.0
+    assert percentile(vals, 50.0) == 2.5
+    with pytest.raises(ValueError):
+        percentile(vals, 101.0)
+
+
+def _populated_collector(latency_scale=1.0):
+    m = MetricsCollector()
+    m.on_send("RREQ", 100)
+    m.on_send("DATA", 500)
+    m.on_receive("RREQ")
+    for i in range(4):
+        m.on_data_sent(A, B)
+    for i in range(3):
+        m.on_data_delivered(A, B, latency_scale * (i + 1) * 0.1)
+    m.on_data_dropped(A, B)
+    m.on_verdict("rrep.accepted")
+    m.on_verdict("rrep.rejected.bad_signature")
+    m.on_crypto("simsig", "sign")
+    m.on_crypto("simsig", "verify")
+    m.on_dad_round("n0")
+    m.on_address_configured("n0", 2.5)
+    m.on_discovery_started()
+    m.on_discovery_succeeded(0.2)
+    return m
+
+
+def test_summary_is_flat_and_json_serializable():
+    summary = _populated_collector().summary()
+    # flat: every value a plain number, round-trips through JSON
+    assert all(isinstance(v, (int, float)) for v in summary.values())
+    assert json.loads(json.dumps(summary)) == summary
+    assert summary["data_sent"] == 4
+    assert summary["data_delivered"] == 3
+    assert summary["pdr"] == 0.75
+    assert summary["latency_p50"] == pytest.approx(0.2)
+    assert summary["latency_p95"] == pytest.approx(0.29)
+    assert summary["control_bytes"] == 100  # DATA excluded
+    assert summary["verdicts_accepted"] == 1
+    assert summary["verdicts_rejected"] == 1
+    assert summary["crypto_sign_ops"] == 1
+    assert summary["configured_nodes"] == 1
+    assert summary["bootstrap_time_max"] == 2.5
+    assert summary["discoveries_succeeded"] == 1
+
+
+def test_merge_sums_counters_and_concatenates_latencies():
+    a = _populated_collector()
+    b = _populated_collector(latency_scale=2.0)
+    merged = MetricsCollector.merge([a, b])
+    assert merged.msgs_sent["RREQ"] == 2
+    assert merged.flows[(A, B)].sent == 8
+    assert merged.flows[(A, B)].delivered == 6
+    assert len(merged.flows[(A, B)].latencies) == 6
+    assert merged.verdicts["rrep.accepted"] == 2
+    assert merged.crypto_ops["simsig.sign"] == 2
+    assert merged.dad_rounds["n0"] == 2
+    # dad_time keeps the worst observed value on name collision
+    assert merged.dad_time["n0"] == 2.5
+    assert merged.discoveries_succeeded == 2
+    # summary of a merge is still well-formed
+    assert merged.summary()["pdr"] == 0.75
+
+
+def test_merge_of_nothing_is_empty():
+    merged = MetricsCollector.merge([])
+    assert merged.summary()["data_sent"] == 0
+    assert merged.summary()["pdr"] == 0.0
 
 
 def test_reports_render_without_error():

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.sim.kernel import Simulator
-from repro.sim.rng import SimRNG, derive_seed
+from repro.sim.rng import SimRNG, derive_seed, spawn_seed
 
 
 def test_same_seed_same_stream_reproduces():
@@ -127,3 +127,23 @@ def test_uniform_array_shape_and_bounds():
 def test_negative_master_seed_rejected():
     with pytest.raises(ValueError):
         SimRNG(-1)
+
+
+def test_spawn_seed_reproducible_and_distinct():
+    # reproducible: depends only on (master_seed, run_index)
+    assert spawn_seed(7, 0) == spawn_seed(7, 0)
+    # distinct across indices and across master seeds
+    seeds = [spawn_seed(7, i) for i in range(64)]
+    assert len(set(seeds)) == 64
+    assert spawn_seed(8, 0) != spawn_seed(7, 0)
+    # each spawned seed is a usable SimRNG master seed
+    assert all(s >= 0 for s in seeds)
+    with pytest.raises(ValueError):
+        spawn_seed(7, -1)
+
+
+def test_spawn_seed_streams_independent_but_reproducible():
+    draws_a = [SimRNG(spawn_seed(11, 0)).random() for _ in range(5)]
+    draws_b = [SimRNG(spawn_seed(11, 1)).random() for _ in range(5)]
+    assert draws_a != draws_b
+    assert draws_a == [SimRNG(spawn_seed(11, 0)).random() for _ in range(5)]
