@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""The PHY fast path: spatial-hash floods at 500 nodes, byte-identical.
+
+Two demonstrations in one script:
+
+1. **Speed** -- a flood round (every node broadcasts once) on a large
+   constant-density deployment, timed under the naive O(N^2) full scan
+   and under the incremental spatial-hash grid.
+2. **Exactness** -- the same seeded scenario executed under both medium
+   indices, proving the metrics summary and the full event trace are
+   byte-identical: the fast path changes *nothing* but wall-clock.
+
+Set REPRO_EXAMPLE_FAST=1 to shrink N (used by the smoke tests).
+
+Run:  python examples/phy_fast_path.py
+"""
+
+import math
+import os
+import time
+
+from repro.ipv6.address import IPv6Address
+from repro.phy.medium import BROADCAST_LINK, Frame, WirelessMedium
+from repro.phy.topology import uniform_positions
+from repro.scenarios import ScenarioBuilder
+from repro.sim.kernel import Simulator
+from repro.sim.rng import SimRNG
+
+SRC_IP = IPv6Address("fec0::cc")
+RADIO_RANGE = 250.0
+DENSITY = 10.0  # expected neighbors per node
+
+
+def flood_time(n: int, index: str) -> float:
+    """Wall-clock seconds for one flood round over a density-scaled
+    uniform deployment (the same sizing rule as the builder's
+    ``uniform_density`` knob: area = n * pi * r^2 / density)."""
+    side = math.sqrt(n * math.pi * RADIO_RANGE**2 / DENSITY)
+    positions = uniform_positions(n, (side, side), SimRNG(11, "example/placement"))
+    sim = Simulator(seed=1)
+    medium = WirelessMedium(sim, radio_range=RADIO_RANGE, index=index)
+    radios = [medium.attach(tuple(p), lambda f: None) for p in positions]
+    start = time.perf_counter()
+    for radio in radios:
+        medium.broadcast(Frame(radio.link_id, BROADCAST_LINK, SRC_IP, "x", 64))
+    return time.perf_counter() - start
+
+
+def run_scenario(index: str):
+    sc = (
+        ScenarioBuilder(seed=5)
+        .grid(9, spacing=180.0)
+        .radio(250.0, loss_rate=0.05)
+        .with_dns()
+        .medium(index)
+        .random_waypoint()
+        .build()
+    )
+    sc.bootstrap_all()
+    a, z = sc.hosts[0], sc.hosts[-1]
+    sc.send_data(a, z.ip, b"payload over the indexed medium")
+    sc.run(duration=10.0)
+    trace = [(e.time, e.node, e.kind, e.msg_type, e.detail) for e in sc.trace.events]
+    return sc.metrics.summary(), trace
+
+
+def main() -> None:
+    fast = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+    n = 120 if fast else 500
+
+    print(f"Flood round at N={n} (constant density ~{DENSITY:.0f} neighbors/node):")
+    naive = flood_time(n, "naive")
+    grid = flood_time(n, "grid")
+    print(f"  naive full scan : {naive * 1e3:8.2f} ms")
+    print(f"  spatial grid    : {grid * 1e3:8.2f} ms   ({naive / grid:.1f}x)")
+
+    print("\nSame seed, both indices, mobile scenario with loss:")
+    g_summary, g_trace = run_scenario("grid")
+    n_summary, n_trace = run_scenario("naive")
+    identical = g_summary == n_summary and g_trace == n_trace
+    print(f"  summaries identical : {g_summary == n_summary}")
+    print(f"  traces identical    : {g_trace == n_trace} "
+          f"({len(g_trace)} events)")
+    if not identical:
+        raise SystemExit("fast path diverged from the reference scan!")
+    print(
+        "\nReading: the grid answers 'who hears this position?' from 9\n"
+        "cells instead of scanning every radio, and visits candidates in\n"
+        "ascending link-id order -- the same order as the naive scan --\n"
+        "so the loss-RNG draw sequence, and therefore every metric and\n"
+        "trace line, is unchanged.  Sweep `medium_index` in a campaign\n"
+        "to keep regression-testing that equivalence at scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

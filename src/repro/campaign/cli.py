@@ -71,7 +71,22 @@ def _cmd_compare(args) -> int:
         pdr_tol=args.pdr_tol, latency_tol=args.latency_tol,
     )
     print(comparison_text(result))
-    return 1 if result["regressions"] else 0
+    if result["regressions"]:
+        return 1
+    if args.strict and (
+        result["removed"] or result["mismatched"] or not result["matched"]
+    ):
+        # Run-matrix drift means the gate compared less than it thinks:
+        # a CI baseline that silently matches nothing is no gate at all.
+        print(
+            "strict: run matrix drifted from the baseline "
+            f"(matched={result['matched']}, "
+            f"removed={len(result['removed'])}, "
+            f"mismatched={len(result['mismatched'])}); "
+            "regenerate the baseline if the change is intentional"
+        )
+        return 1
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -106,6 +121,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("current")
     p_cmp.add_argument("--pdr-tol", type=float, default=0.02)
     p_cmp.add_argument("--latency-tol", type=float, default=0.25)
+    p_cmp.add_argument("--strict", action="store_true",
+                       help="also fail when the run matrix drifted "
+                            "(removed/mismatched/zero matched runs)")
     p_cmp.set_defaults(func=_cmd_compare)
     return parser
 

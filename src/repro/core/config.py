@@ -21,6 +21,12 @@ class NodeConfig:
     crypto_backend: str = "simsig"
     #: Add each sign/verify's simulated cost to the node's next transmission.
     charge_crypto_delay: bool = True
+    #: Per-node LRU memoization of signature checks, keyed on
+    #: (public_key, payload, signature).  Flooded RREQs arrive as many
+    #: identical copies; re-checking the same triple is pure waste, so a
+    #: hit costs no crypto debt and counts as "verify_cached" in the
+    #: metrics.  0 disables the cache.
+    verify_cache_size: int = 128
 
     # -- generic -------------------------------------------------------------
     #: IPv6 hop limit for flooded/forwarded control messages.

@@ -31,6 +31,11 @@ class NetContext:
     #: node is created, before any host bootstraps.
     dns_public_key: PublicKey | None = None
 
+    def __post_init__(self) -> None:
+        # Let the medium annotate the shared trace (e.g. graceful no-op
+        # notes when churn races a detach).
+        self.medium.trace = self.trace
+
     @property
     def now(self) -> float:
         return self.sim.now

@@ -221,6 +221,7 @@ class MetricsCollector:
             "crypto_ops_total": sum(self.crypto_ops.values()),
             "crypto_sign_ops": self.crypto_total("sign"),
             "crypto_verify_ops": self.crypto_total("verify"),
+            "crypto_verify_cache_hits": self.crypto_total("verify_cached"),
             # bootstrap
             "configured_nodes": len(self.dad_time),
             "dad_rounds_total": sum(self.dad_rounds.values()),

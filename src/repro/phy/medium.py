@@ -9,6 +9,16 @@ with ``tx_delay = size * 8 / bitrate``.  Each (frame, receiver) pair
 draws independent Bernoulli loss.  Unicast frames emulate an 802.11-like
 MAC: up to ``mac_retries`` retransmissions, then a failure callback --
 which is exactly the "link broken" signal DSR route maintenance needs.
+
+Receiver lookup goes through an incremental neighbor index (see
+:mod:`repro.phy.neighbor_index`): the default ``"grid"`` spatial hash
+answers "who can hear this position?" in O(local density) and is kept
+current by ``attach``/``detach``/``set_position``/``set_enabled``, so a
+network-wide flood is near-linear in N instead of quadratic.  The
+``"naive"`` index preserves the original full scan; both visit in-range
+receivers in ascending link-id order, so the ``phy/loss`` RNG draw
+sequence -- and every metric and trace -- is byte-identical across
+index choices.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.ipv6.address import IPv6Address
+from repro.phy.neighbor_index import INDEX_KINDS, make_index
 from repro.sim.kernel import Simulator
 
 #: Destination pseudo-link-id for broadcast frames.
@@ -79,6 +90,9 @@ class WirelessMedium:
         Unicast retransmission budget before reporting link failure.
     ack_timeout:
         Per-attempt wait before a retry / failure verdict.
+    index:
+        Neighbor index implementation: ``"grid"`` (spatial hash, the
+        default) or ``"naive"`` (full scan).  Byte-identical results.
     """
 
     def __init__(
@@ -90,11 +104,16 @@ class WirelessMedium:
         proc_delay: float = 1e-4,
         mac_retries: int = 3,
         ack_timeout: float = 5e-3,
+        index: str = "grid",
     ):
         if radio_range <= 0:
             raise ValueError("radio_range must be positive")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
+        if index not in INDEX_KINDS:
+            raise ValueError(
+                f"unknown medium index {index!r} (expected one of {INDEX_KINDS})"
+            )
         self.sim = sim
         self.radio_range = radio_range
         self.bitrate = bitrate
@@ -102,6 +121,10 @@ class WirelessMedium:
         self.proc_delay = proc_delay
         self.mac_retries = mac_retries
         self.ack_timeout = ack_timeout
+        self.index_kind = index
+        self._index = make_index(index, radio_range)
+        #: Optional TraceRecorder for medium-level notes (wired by NetContext).
+        self.trace = None
         self._radios: dict[int, RadioHandle] = {}
         #: Radios that receive copies of *unicast* frames they can overhear
         #: (802.11 monitor mode; used by eavesdropping adversaries).
@@ -114,6 +137,11 @@ class WirelessMedium:
         self.dropped_frames = 0
 
     # -- attachment ------------------------------------------------------
+    def _note(self, text: str) -> None:
+        """Drop a medium-level annotation into the trace (if wired)."""
+        if self.trace is not None:
+            self.trace.record(self.sim.now, "medium", "note", "PHY", text)
+
     def attach(
         self,
         position: tuple[float, float],
@@ -122,19 +150,40 @@ class WirelessMedium:
         """Join the medium at ``position``; returns this radio's handle."""
         handle = RadioHandle(self._next_link_id, tuple(position), deliver)
         self._radios[handle.link_id] = handle
+        self._index.insert(handle.link_id, handle.position)
         self._next_link_id += 1
         return handle
 
     def detach(self, link_id: int) -> None:
         """Leave the medium (host powered off / departed)."""
-        self._radios.pop(link_id, None)
+        if self._radios.pop(link_id, None) is not None:
+            self._index.remove(link_id)
+
+    def has_link(self, link_id: int) -> bool:
+        """True while ``link_id`` is attached (mobility models poll this)."""
+        return link_id in self._radios
 
     def set_enabled(self, link_id: int, enabled: bool) -> None:
-        """Radio on/off without losing the attachment (used by churn models)."""
-        self._radios[link_id].enabled = enabled
+        """Radio on/off without losing the attachment (used by churn models).
+
+        A detached link id is a graceful no-op: a churn model may race a
+        scenario-driven detach, and losing that race must not crash the run.
+        """
+        radio = self._radios.get(link_id)
+        if radio is None:
+            self._note(f"set_enabled({enabled}) on detached link {link_id}")
+            return
+        radio.enabled = enabled
+        self._index.set_enabled(link_id, enabled)
 
     def set_position(self, link_id: int, position: tuple[float, float]) -> None:
-        self._radios[link_id].position = tuple(position)
+        """Move a radio (graceful no-op on a detached link id, as above)."""
+        radio = self._radios.get(link_id)
+        if radio is None:
+            self._note(f"set_position on detached link {link_id}")
+            return
+        radio.position = tuple(position)
+        self._index.move(link_id, radio.position)
 
     def set_promiscuous(self, link_id: int, enabled: bool = True) -> None:
         """Monitor mode: overhear unicast frames between other nodes."""
@@ -163,9 +212,25 @@ class WirelessMedium:
             return False
         return self.distance(a, b) <= self.radio_range
 
+    def _in_range_ids(self, link_id: int) -> list[int]:
+        """Enabled link ids within range of ``link_id``, ascending.
+
+        The ascending order is load-bearing: it matches the naive scan's
+        iteration order, which pins the ``phy/loss`` draw sequence (see
+        :mod:`repro.phy.neighbor_index`).
+        """
+        radio = self._radios.get(link_id)
+        if radio is None or not radio.enabled:
+            return []
+        return [
+            other
+            for other in self._index.candidates_near(radio.position)
+            if other != link_id and self.in_range(link_id, other)
+        ]
+
     def neighbors(self, link_id: int) -> list[int]:
         """Link ids currently within radio range (instantaneous truth)."""
-        return [other for other in self._radios if self.in_range(link_id, other)]
+        return self._in_range_ids(link_id)
 
     # -- timing -----------------------------------------------------------
     def tx_delay(self, size: int) -> float:
@@ -189,9 +254,7 @@ class WirelessMedium:
         sender.frames_sent += 1
         sender.bytes_sent += frame.size
         count = 0
-        for other_id in self._radios:
-            if not self.in_range(frame.src_link, other_id):
-                continue
+        for other_id in self._in_range_ids(frame.src_link):
             count += 1
             if self._rng.random() < self.loss_rate:
                 self.dropped_frames += 1
@@ -232,8 +295,10 @@ class WirelessMedium:
         sender.bytes_sent += frame.size
 
         # Monitor-mode radios overhear the transmission regardless of the
-        # MAC destination (each copy draws loss independently).
-        for snoop in self._promiscuous:
+        # MAC destination (each copy draws loss independently).  Sorted
+        # iteration keeps the loss-draw sequence independent of set
+        # internals, part of the index-equivalence determinism contract.
+        for snoop in sorted(self._promiscuous):
             if snoop in (frame.src_link, frame.dst_link):
                 continue
             if not self.in_range(frame.src_link, snoop):

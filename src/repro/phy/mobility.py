@@ -106,6 +106,8 @@ class RandomWaypoint(MobilityModel):
             return
         now = self.sim.now
         for lid in self.link_ids:
+            if not self.medium.has_link(lid):
+                continue  # detached mid-run; the medium ignores it too
             target, speed, pause_until = self._legs[lid]
             if now < pause_until:
                 continue
@@ -170,6 +172,9 @@ class ChurnModel(MobilityModel):
         if not self._running:
             return
         lid = self._rng.choice(self.link_ids)
+        # A scenario may detach a radio the model still tracks; the
+        # medium treats enable/disable of a detached link as a no-op,
+        # so the toggle below is safe either way.
         if lid in self._absent:
             self._absent.discard(lid)
             self.medium.set_enabled(lid, True)

@@ -1,0 +1,199 @@
+"""Incremental neighbor indices for the wireless medium.
+
+The medium answers one geometric question on every transmission: *which
+radios might be within ``radio_range`` of this position?*  The naive
+answer -- scan every attached radio -- costs O(N) per frame and makes a
+network-wide flood O(N^2), which caps campaign sweeps at a few dozen
+nodes.  :class:`SpatialHashGrid` replaces the scan with a uniform grid
+of square cells of side ``cell_size == radio_range``: a radio at
+position ``p`` lives in cell ``(floor(px / s), floor(py / s))``, and
+every point within ``radio_range`` of ``p`` necessarily falls in the
+3x3 block of cells around ``p``'s cell.  Range queries therefore touch
+only local occupancy, and ``attach``/``detach``/``set_position``/
+``set_enabled`` maintain the structure incrementally in O(1), so a
+flood round over a bounded-density deployment is O(N * degree) instead
+of O(N^2).
+
+Determinism-ordering contract
+-----------------------------
+
+Both index implementations MUST honour the following contract, which is
+what keeps grid-indexed runs **byte-identical** to the naive scan:
+
+1. ``candidates_near(position)`` returns a *superset* of every enabled
+   radio within ``cell_size`` of ``position`` (false positives are fine;
+   false negatives are not).
+2. Candidates are yielded in **strictly ascending link-id order**.
+
+The medium filters candidates with the exact unit-disk test and draws
+exactly one ``phy/loss`` RNG variate per in-range receiver.  Link ids
+are assigned monotonically and never reused, so the naive full scan --
+which iterates the radio dict in insertion order -- also visits
+receivers in ascending link-id order.  Under (1) + (2) the sequence of
+in-range receivers, and therefore the sequence of loss draws, delivery
+events, metrics, and trace lines, is identical whichever index computed
+the candidate set.  Any future index implementation (k-d tree, sorted
+sweep, ...) must sort its candidates the same way before yielding.
+"""
+
+from __future__ import annotations
+
+
+class NaiveScanIndex:
+    """The O(N) reference index: every attached radio is a candidate.
+
+    Exists so the medium has a single code path whichever index is
+    selected, and so equivalence tests can pin the grid against the
+    original full-scan semantics.
+    """
+
+    kind = "naive"
+
+    def __init__(self):
+        # link_id -> enabled; insertion-ordered, and link ids are
+        # monotonic, so iteration is already ascending (contract #2).
+        self._links: dict[int, bool] = {}
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __contains__(self, link_id: int) -> bool:
+        return link_id in self._links
+
+    def insert(self, link_id: int, position: tuple[float, float]) -> None:
+        self._links[link_id] = True
+
+    def remove(self, link_id: int) -> None:
+        self._links.pop(link_id, None)
+
+    def move(self, link_id: int, position: tuple[float, float]) -> None:
+        pass  # position plays no role in the full scan
+
+    def set_enabled(self, link_id: int, enabled: bool) -> None:
+        if link_id in self._links:
+            self._links[link_id] = enabled
+
+    def candidates_near(self, position: tuple[float, float]) -> list[int]:
+        """All attached link ids (disabled ones included; they are
+        filtered by the medium's exact in-range test, exactly as the
+        original scan did -- and they draw no RNG either way)."""
+        return list(self._links)
+
+
+class SpatialHashGrid:
+    """Uniform spatial-hash grid over square cells of side ``cell_size``.
+
+    ``cell_size`` must equal the radio range for the 3x3-block query to
+    be a correct superset (see the module docstring's contract).  The
+    grid stores only *enabled* radios in its cells -- a disabled radio
+    keeps its position record but occupies no cell, so churn-heavy
+    scenarios do not pay for absent nodes -- and re-enters its current
+    cell on re-enable.
+    """
+
+    kind = "grid"
+
+    def __init__(self, cell_size: float):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self.cell_size = float(cell_size)
+        # cell key -> set of enabled link ids in that cell
+        self._cells: dict[tuple[int, int], set[int]] = {}
+        # link_id -> (position, enabled)
+        self._links: dict[int, tuple[tuple[float, float], bool]] = {}
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __contains__(self, link_id: int) -> bool:
+        return link_id in self._links
+
+    @property
+    def occupied_cells(self) -> int:
+        """Non-empty cell count (introspection for tests/benchmarks)."""
+        return sum(1 for members in self._cells.values() if members)
+
+    def _cell_of(self, position: tuple[float, float]) -> tuple[int, int]:
+        s = self.cell_size
+        return (int(position[0] // s), int(position[1] // s))
+
+    def _cell_add(self, cell: tuple[int, int], link_id: int) -> None:
+        self._cells.setdefault(cell, set()).add(link_id)
+
+    def _cell_discard(self, cell: tuple[int, int], link_id: int) -> None:
+        members = self._cells.get(cell)
+        if members is not None:
+            members.discard(link_id)
+            if not members:
+                del self._cells[cell]
+
+    # -- incremental maintenance ---------------------------------------
+    def insert(self, link_id: int, position: tuple[float, float]) -> None:
+        position = (float(position[0]), float(position[1]))
+        self._links[link_id] = (position, True)
+        self._cell_add(self._cell_of(position), link_id)
+
+    def remove(self, link_id: int) -> None:
+        entry = self._links.pop(link_id, None)
+        if entry is None:
+            return
+        position, enabled = entry
+        if enabled:
+            self._cell_discard(self._cell_of(position), link_id)
+
+    def move(self, link_id: int, position: tuple[float, float]) -> None:
+        entry = self._links.get(link_id)
+        if entry is None:
+            return
+        old_position, enabled = entry
+        position = (float(position[0]), float(position[1]))
+        self._links[link_id] = (position, enabled)
+        if not enabled:
+            return  # occupies no cell; re-enable will place it
+        old_cell, new_cell = self._cell_of(old_position), self._cell_of(position)
+        if old_cell != new_cell:
+            self._cell_discard(old_cell, link_id)
+            self._cell_add(new_cell, link_id)
+
+    def set_enabled(self, link_id: int, enabled: bool) -> None:
+        entry = self._links.get(link_id)
+        if entry is None:
+            return
+        position, was_enabled = entry
+        if was_enabled == enabled:
+            return
+        self._links[link_id] = (position, enabled)
+        if enabled:
+            self._cell_add(self._cell_of(position), link_id)
+        else:
+            self._cell_discard(self._cell_of(position), link_id)
+
+    # -- queries --------------------------------------------------------
+    def candidates_near(self, position: tuple[float, float]) -> list[int]:
+        """Enabled link ids in the 3x3 cell block around ``position``,
+        in ascending link-id order (the determinism contract)."""
+        cx, cy = self._cell_of(position)
+        cells = self._cells
+        out: list[int] = []
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                members = cells.get((cx + dx, cy + dy))
+                if members:
+                    out.extend(members)
+        out.sort()
+        return out
+
+
+#: Selectable index implementations, by spec name.
+INDEX_KINDS = ("grid", "naive")
+
+
+def make_index(kind: str, cell_size: float):
+    """Build the index implementation named ``kind`` (see INDEX_KINDS)."""
+    if kind == "grid":
+        return SpatialHashGrid(cell_size)
+    if kind == "naive":
+        return NaiveScanIndex()
+    raise ValueError(
+        f"unknown medium index {kind!r} (expected one of {INDEX_KINDS})"
+    )

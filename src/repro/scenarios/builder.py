@@ -14,6 +14,7 @@ formation, so it does not itself run DAD.
 from __future__ import annotations
 
 import copy
+import math
 
 import numpy as np
 
@@ -81,6 +82,7 @@ _TOPOLOGY_KEYS: dict[str, set[str]] = {
     "chain": {"n", "spacing"},
     "grid": {"n", "spacing"},
     "uniform": {"n", "area", "require_connected"},
+    "uniform_density": {"n", "density", "require_connected"},
     "clustered": {"n", "clusters", "area", "cluster_std"},
     "positions": {"points"},
 }
@@ -175,6 +177,7 @@ class ScenarioBuilder:
         self._topology: dict | None = None
         self._radio_range = 250.0
         self._loss_rate = 0.0
+        self._medium_index = "grid"
         self._with_dns = False
         self._dns_position: tuple[float, float] | None = None
         self._dns_preregistrations: list[tuple[str, IPv6Address]] = []
@@ -202,6 +205,29 @@ class ScenarioBuilder:
             "kind": "uniform",
             "n": int(n),
             "area": [float(area[0]), float(area[1])],
+            "require_connected": bool(require_connected),
+        }
+        return self
+
+    def uniform_density(
+        self, n: int, density: float = 10.0, require_connected: bool = False
+    ) -> "ScenarioBuilder":
+        """Uniform placement in a square sized so that the *expected
+        neighbor count* per node is ``density``, whatever ``n`` is.
+
+        The fixed-area ``uniform`` knob saturates as ``n`` grows (every
+        node ends up hearing everyone); this one keeps local density
+        constant, which is what large-N sweeps (500-1000 nodes) need for
+        flood behaviour to stay multi-hop.  The side length resolves at
+        ``build()`` time from the final radio range, so call order
+        relative to ``radio()`` does not matter.
+        """
+        if density <= 0:
+            raise ValueError("density must be positive")
+        self._topology = {
+            "kind": "uniform_density",
+            "n": int(n),
+            "density": float(density),
             "require_connected": bool(require_connected),
         }
         return self
@@ -250,6 +276,18 @@ class ScenarioBuilder:
             else:
                 pts = uniform_positions(n, area, rng)
             return pts, area
+        if kind == "uniform_density":
+            n, density = topo["n"], topo["density"]
+            # E[neighbors] = density  =>  area = n * pi * r^2 / density.
+            r = self._radio_range
+            side = math.sqrt(n * math.pi * r * r / density)
+            area = (side, side)
+            rng = Simulator(seed=self.seed).rng("placement")
+            if topo["require_connected"]:
+                pts = connected_uniform_positions(n, area, r, rng)
+            else:
+                pts = uniform_positions(n, area, rng)
+            return pts, area
         if kind == "clustered":
             area = tuple(topo["area"])
             rng = Simulator(seed=self.seed).rng("placement")
@@ -265,6 +303,17 @@ class ScenarioBuilder:
     def radio(self, radio_range: float = 250.0, loss_rate: float = 0.0) -> "ScenarioBuilder":
         self._radio_range = radio_range
         self._loss_rate = loss_rate
+        return self
+
+    def medium(self, index: str = "grid") -> "ScenarioBuilder":
+        """Neighbor index for the medium: ``"grid"`` (spatial hash,
+        default) or ``"naive"`` (full scan).  Results are byte-identical
+        either way; campaigns sweep this to regression-test that claim."""
+        if index not in ("grid", "naive"):
+            raise ValueError(
+                f"unknown medium index {index!r} (expected 'grid' or 'naive')"
+            )
+        self._medium_index = index
         return self
 
     # -- protocol ----------------------------------------------------------------
@@ -310,6 +359,7 @@ class ScenarioBuilder:
         known = {
             "seed", "topology", "radio", "config", "router",
             "routers_by_name", "dns", "preregister", "mobility",
+            "medium_index",
         }
         unknown = set(spec) - known
         if unknown:
@@ -324,6 +374,7 @@ class ScenarioBuilder:
             radio_range=float(radio.get("range", 250.0)),
             loss_rate=float(radio.get("loss_rate", 0.0)),
         )
+        builder.medium(str(spec.get("medium_index", "grid")))
         if spec.get("config"):
             builder.config(**spec["config"])
 
@@ -341,6 +392,11 @@ class ScenarioBuilder:
             builder.uniform(
                 topo["n"], tuple(topo["area"]),
                 require_connected=topo.get("require_connected", True),
+            )
+        elif kind == "uniform_density":
+            builder.uniform_density(
+                topo["n"], density=topo.get("density", 10.0),
+                require_connected=topo.get("require_connected", False),
             )
         elif kind == "clustered":
             builder.clustered(
@@ -382,6 +438,8 @@ class ScenarioBuilder:
             "radio": {"range": self._radio_range, "loss_rate": self._loss_rate},
             "router": router_name(self._router_cls),
         }
+        if self._medium_index != "grid":
+            spec["medium_index"] = self._medium_index
         if self._config_overrides:
             spec["config"] = dict(self._config_overrides)
         if self._router_cls_by_name:
@@ -409,7 +467,8 @@ class ScenarioBuilder:
         positions, area = self._resolve_topology()
         sim = Simulator(seed=self.seed)
         medium = WirelessMedium(
-            sim, radio_range=self._radio_range, loss_rate=self._loss_rate
+            sim, radio_range=self._radio_range, loss_rate=self._loss_rate,
+            index=self._medium_index,
         )
         ctx = NetContext(sim=sim, medium=medium)
 

@@ -38,15 +38,19 @@ class Event:
     callback: Callable[..., None] = field(compare=False)
     args: tuple = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Set once the kernel pops the entry; a later cancel() is then a
+    #: pure no-op and must not count as heap residue.
+    popped: bool = field(compare=False, default=False)
 
 
 class EventHandle:
     """Cancellable reference to a scheduled :class:`Event`."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: Event):
+    def __init__(self, event: Event, sim: "Simulator | None" = None):
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -62,10 +66,24 @@ class EventHandle:
 
         Cancellation is lazy: the heap entry stays in place and is skipped
         when popped, which is O(1) here at the cost of heap residue.  The
-        protocol stack cancels far fewer events than it schedules, so the
-        residue never dominates.
+        kernel tracks the residue and compacts the heap automatically when
+        cancelled entries dominate a large heap (see
+        :meth:`Simulator.drain_cancelled`), so mobile large-N scenarios
+        that cancel many MAC/retransmit timers stay O(live events).
         """
+        if self._event.cancelled:
+            return
         self._event.cancelled = True
+        # Cancelling an event that already fired (e.g. a timer callback
+        # stopping its own timer) leaves nothing in the heap -- counting
+        # it as residue would drift the compaction trigger upward forever.
+        if self._sim is not None and not self._event.popped:
+            self._sim._on_cancel()
+
+
+#: Heaps smaller than this are never auto-compacted: rebuilding a small
+#: heap costs more than skipping its residue ever will.
+AUTO_COMPACT_MIN_HEAP = 4096
 
 
 class Simulator:
@@ -95,6 +113,8 @@ class Simulator:
         self._seed = seed
         self._rng_streams: dict[str, Any] = {}
         self._events_executed = 0
+        self._cancelled_pending = 0
+        self._compactions = 0
 
     # ------------------------------------------------------------------
     # clock
@@ -117,6 +137,16 @@ class Simulator:
     def events_pending(self) -> int:
         """Number of heap entries not yet popped, including cancelled residue."""
         return len(self._heap)
+
+    @property
+    def cancelled_pending(self) -> int:
+        """Cancelled entries still sitting in the heap."""
+        return self._cancelled_pending
+
+    @property
+    def compactions(self) -> int:
+        """How many times the heap was auto-compacted."""
+        return self._compactions
 
     # ------------------------------------------------------------------
     # randomness
@@ -168,16 +198,35 @@ class Simulator:
         event = Event(time, priority, self._seq, callback, args)
         self._seq += 1
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def _on_cancel(self) -> None:
+        """Handle-cancel hook: count residue, auto-compact when it dominates.
+
+        Compaction triggers only on heaps larger than
+        ``AUTO_COMPACT_MIN_HEAP`` whose entries are more than half
+        cancelled -- large mobile scenarios cancel thousands of MAC and
+        retransmit timers, and without compaction the heap (and every
+        push/pop) grows with *scheduled* rather than *live* events.
+        """
+        self._cancelled_pending += 1
+        if (
+            len(self._heap) > AUTO_COMPACT_MIN_HEAP
+            and self._cancelled_pending * 2 > len(self._heap)
+        ):
+            self.drain_cancelled()
+            self._compactions += 1
+
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if queue is empty."""
         while self._heap:
             event = heapq.heappop(self._heap)
+            event.popped = True
             if event.cancelled:
+                self._cancelled_pending -= 1
                 continue
             self._now = event.time
             self._events_executed += 1
@@ -204,7 +253,9 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                event.popped = True
                 if event.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 self._now = event.time
                 self._events_executed += 1
@@ -218,11 +269,13 @@ class Simulator:
     def drain_cancelled(self) -> int:
         """Compact the heap by dropping cancelled residue.  Returns count dropped.
 
-        Useful for very long simulations where many timers get cancelled
-        (e.g. per-packet retransmission timers); call occasionally.
+        Runs automatically when cancelled residue exceeds half of a
+        large (> ``AUTO_COMPACT_MIN_HEAP``-entry) heap; still callable
+        explicitly for long simulations with unusual cancel patterns.
         """
         before = len(self._heap)
         live = [e for e in self._heap if not e.cancelled]
         heapq.heapify(live)
         self._heap = live
+        self._cancelled_pending = 0
         return before - len(live)

@@ -293,6 +293,26 @@ def test_compare_flags_param_drift_instead_of_false_diffing():
     assert "SPEC DRIFT" in comparison_text(result)
 
 
+def test_cli_compare_strict_fails_on_matrix_drift(tmp_path, capsys):
+    from repro.campaign.aggregate import write_jsonl
+    from repro.campaign.cli import main
+
+    base = [{"run_id": "c-0000", "params": {"x": 1}, "status": "ok",
+             "summary": {"pdr": 1.0, "latency_p95": 0.1}}]
+    renamed = [{"run_id": "c-0001", "params": {"x": 1}, "status": "ok",
+                "summary": {"pdr": 1.0, "latency_p95": 0.1}}]
+    base_path, cur_path = tmp_path / "base.jsonl", tmp_path / "cur.jsonl"
+    write_jsonl(base_path, base)
+    write_jsonl(cur_path, renamed)
+    # default: drift is reported but not fatal (spec evolution is normal)
+    assert main(["compare", str(base_path), str(cur_path)]) == 0
+    # strict (the CI gate): a baseline that matches nothing is no gate
+    assert main(["compare", "--strict", str(base_path), str(cur_path)]) == 1
+    assert "drifted" in capsys.readouterr().out
+    # strict with an identical matrix still passes
+    assert main(["compare", "--strict", str(base_path), str(base_path)]) == 0
+
+
 def test_compare_zero_latency_baseline_is_not_a_regression():
     base = [{"run_id": "r", "params": {}, "status": "ok",
              "summary": {"pdr": 0.0, "latency_p95": 0.0}}]

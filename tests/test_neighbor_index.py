@@ -1,0 +1,159 @@
+"""Unit tests for the incremental neighbor indices.
+
+The contract under test (see ``repro/phy/neighbor_index.py``): every
+index returns a *superset* of the enabled radios within ``cell_size``
+of the query position, in strictly ascending link-id order.
+"""
+
+import math
+
+import pytest
+
+from repro.phy.neighbor_index import (
+    INDEX_KINDS,
+    NaiveScanIndex,
+    SpatialHashGrid,
+    make_index,
+)
+from repro.sim.rng import SimRNG
+
+RANGE = 100.0
+
+
+def brute_force(positions: dict, query, radius) -> set:
+    return {
+        lid
+        for lid, pos in positions.items()
+        if math.hypot(pos[0] - query[0], pos[1] - query[1]) <= radius
+    }
+
+
+def test_make_index_kinds():
+    assert isinstance(make_index("grid", RANGE), SpatialHashGrid)
+    assert isinstance(make_index("naive", RANGE), NaiveScanIndex)
+    with pytest.raises(ValueError):
+        make_index("kdtree", RANGE)
+    assert set(INDEX_KINDS) == {"grid", "naive"}
+
+
+def test_grid_rejects_bad_cell_size():
+    with pytest.raises(ValueError):
+        SpatialHashGrid(0.0)
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_candidates_are_sorted_and_cover_in_range(kind):
+    index = make_index(kind, RANGE)
+    rng = SimRNG(17, "test/index")
+    positions = {}
+    for lid in range(60):
+        pos = (rng.uniform(-300, 300), rng.uniform(-300, 300))
+        positions[lid] = pos
+        index.insert(lid, pos)
+    for lid, pos in positions.items():
+        cands = index.candidates_near(pos)
+        assert cands == sorted(cands)
+        assert brute_force(positions, pos, RANGE) <= set(cands)
+
+
+def test_grid_query_is_local():
+    """The 3x3 block never drags in radios more than 2 cells away."""
+    grid = SpatialHashGrid(RANGE)
+    grid.insert(0, (0.0, 0.0))
+    grid.insert(1, (250.0, 0.0))  # 2 cells away: must not be a candidate
+    grid.insert(2, (150.0, 0.0))  # adjacent cell: allowed false positive
+    cands = grid.candidates_near((0.0, 0.0))
+    assert 0 in cands and 1 not in cands and 2 in cands
+
+
+def test_grid_tracks_moves_incrementally():
+    grid = SpatialHashGrid(RANGE)
+    grid.insert(0, (0.0, 0.0))
+    grid.insert(1, (500.0, 500.0))
+    assert 1 not in grid.candidates_near((0.0, 0.0))
+    grid.move(1, (50.0, 50.0))
+    assert 1 in grid.candidates_near((0.0, 0.0))
+    assert 1 not in grid.candidates_near((500.0, 500.0))
+    # moving within the same cell keeps membership intact
+    grid.move(1, (60.0, 40.0))
+    assert 1 in grid.candidates_near((0.0, 0.0))
+
+
+def test_grid_disabled_radios_leave_their_cell():
+    grid = SpatialHashGrid(RANGE)
+    grid.insert(0, (10.0, 10.0))
+    grid.insert(1, (20.0, 20.0))
+    grid.set_enabled(1, False)
+    assert grid.candidates_near((0.0, 0.0)) == [0]
+    # position updates while disabled are remembered...
+    grid.move(1, (400.0, 400.0))
+    grid.set_enabled(1, True)
+    # ...and re-enable places the radio at its *current* position
+    assert 1 not in grid.candidates_near((0.0, 0.0))
+    assert 1 in grid.candidates_near((400.0, 400.0))
+
+
+def test_grid_remove_and_unknown_ids_are_graceful():
+    grid = SpatialHashGrid(RANGE)
+    grid.insert(3, (0.0, 0.0))
+    grid.remove(3)
+    assert grid.candidates_near((0.0, 0.0)) == []
+    assert len(grid) == 0
+    # unknown ids: all maintenance ops are no-ops
+    grid.remove(99)
+    grid.move(99, (1.0, 1.0))
+    grid.set_enabled(99, False)
+    assert 99 not in grid
+
+
+def test_grid_negative_coordinates():
+    grid = SpatialHashGrid(RANGE)
+    grid.insert(0, (-10.0, -10.0))
+    grid.insert(1, (-90.0, -40.0))
+    assert grid.candidates_near((-10.0, -10.0)) == [0, 1]
+
+
+def test_grid_empty_cells_are_reclaimed():
+    grid = SpatialHashGrid(RANGE)
+    for lid in range(10):
+        grid.insert(lid, (lid * 1000.0, 0.0))
+    assert grid.occupied_cells == 10
+    for lid in range(10):
+        grid.move(lid, (0.0, 0.0))
+    assert grid.occupied_cells == 1
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_randomized_churn_matches_brute_force(kind):
+    """Superset + ordering hold through interleaved insert/move/remove/toggle."""
+    index = make_index(kind, RANGE)
+    rng = SimRNG(99, "test/index-churn")
+    positions: dict[int, tuple[float, float]] = {}
+    enabled: dict[int, bool] = {}
+    next_id = 0
+    for _ in range(400):
+        op = rng.random()
+        if op < 0.4 or not positions:
+            pos = (rng.uniform(0, 600), rng.uniform(0, 600))
+            positions[next_id] = pos
+            enabled[next_id] = True
+            index.insert(next_id, pos)
+            next_id += 1
+        elif op < 0.6:
+            lid = rng.choice(sorted(positions))
+            pos = (rng.uniform(0, 600), rng.uniform(0, 600))
+            positions[lid] = pos
+            index.move(lid, pos)
+        elif op < 0.8:
+            lid = rng.choice(sorted(positions))
+            enabled[lid] = not enabled[lid]
+            index.set_enabled(lid, enabled[lid])
+        else:
+            lid = rng.choice(sorted(positions))
+            del positions[lid], enabled[lid]
+            index.remove(lid)
+        query = (rng.uniform(0, 600), rng.uniform(0, 600))
+        cands = index.candidates_near(query)
+        assert cands == sorted(cands)
+        live = {lid: p for lid, p in positions.items() if enabled[lid]}
+        assert brute_force(live, query, RANGE) <= set(cands)

@@ -160,3 +160,54 @@ def test_constructor_validation():
         WirelessMedium(sim, radio_range=0)
     with pytest.raises(ValueError):
         WirelessMedium(sim, loss_rate=1.0)
+    with pytest.raises(ValueError):
+        WirelessMedium(sim, index="octree")
+
+
+def test_set_position_and_enabled_on_detached_link_are_noops():
+    """A churn model racing a detach must not crash the run (bugfix)."""
+    sim, medium = make_medium()
+    r0 = medium.attach((0, 0), lambda f: None)
+    medium.detach(r0.link_id)
+    medium.set_position(r0.link_id, (10, 10))  # no KeyError
+    medium.set_enabled(r0.link_id, False)  # no KeyError
+    assert not medium.has_link(r0.link_id)
+    # never-attached ids are equally harmless
+    medium.set_position(999, (1, 1))
+    medium.set_enabled(999, True)
+
+
+def test_detached_link_noops_leave_a_trace_note():
+    from repro.trace.recorder import TraceRecorder
+
+    sim, medium = make_medium()
+    medium.trace = TraceRecorder()
+    r0 = medium.attach((0, 0), lambda f: None)
+    medium.detach(r0.link_id)
+    medium.set_position(r0.link_id, (10, 10))
+    medium.set_enabled(r0.link_id, True)
+    notes = [e.detail for e in medium.trace.filter(kind="note")]
+    assert len(notes) == 2
+    assert all(f"detached link {r0.link_id}" in n for n in notes)
+
+
+def test_broadcast_spans_grid_cell_borders():
+    """Receivers just inside range but in a diagonal neighbor cell."""
+    sim, medium = make_medium()  # range 100 => cell size 100
+    got = []
+    r0 = medium.attach((95.0, 95.0), lambda f: None)
+    medium.attach((165.0, 165.0), got.append)  # ~99m away, cell (1, 1)
+    medium.attach((-4.0, 95.0), got.append)  # 99m away, cell (-1, 0)
+    n = medium.broadcast(Frame(r0.link_id, BROADCAST_LINK, SRC_IP, "hi", 10))
+    sim.run()
+    assert n == 2 and len(got) == 2
+
+
+def test_detached_radio_disappears_from_neighbors():
+    sim, medium = make_medium()
+    r0 = medium.attach((0, 0), lambda f: None)
+    r1 = medium.attach((50, 0), lambda f: None)
+    assert medium.neighbors(r0.link_id) == [r1.link_id]
+    medium.detach(r1.link_id)
+    assert medium.neighbors(r0.link_id) == []
+    assert medium.broadcast(Frame(r0.link_id, BROADCAST_LINK, SRC_IP, "x", 1)) == 0

@@ -35,10 +35,12 @@ def _positions_of(builder: ScenarioBuilder):
         lambda b: b.grid(9, spacing=170.0),
         lambda b: b.uniform(6, (600.0, 600.0)),
         lambda b: b.uniform(6, (600.0, 600.0), require_connected=False),
+        lambda b: b.uniform_density(12, density=6.0),
         lambda b: b.clustered(8, 2, (500.0, 500.0), cluster_std=40.0),
         lambda b: b.positions([(0.0, 0.0), (100.0, 0.0), (200.0, 50.0)]),
     ],
-    ids=["chain", "grid", "uniform", "uniform-loose", "clustered", "positions"],
+    ids=["chain", "grid", "uniform", "uniform-loose", "uniform-density",
+         "clustered", "positions"],
 )
 def test_every_topology_round_trips(shape):
     builder = shape(ScenarioBuilder(seed=13))
@@ -62,6 +64,41 @@ def test_every_router_round_trips(cls, name):
     assert spec["router"] == name
     rebuilt = ScenarioBuilder.from_spec(spec).build()
     assert all(type(h.router) is cls for h in rebuilt.hosts)
+
+
+def test_medium_index_round_trips():
+    builder = ScenarioBuilder(seed=5).chain(3).medium("naive")
+    spec = _assert_round_trip(builder)
+    assert spec["medium_index"] == "naive"
+    assert ScenarioBuilder.from_spec(spec).build().medium.index_kind == "naive"
+
+    # the default is sparse: grid-indexed specs carry no key and old
+    # (pre-fast-path) specs keep parsing
+    default = ScenarioBuilder(seed=5).chain(3)
+    assert "medium_index" not in default.to_spec()
+    assert default.build().medium.index_kind == "grid"
+    with pytest.raises(ValueError):
+        ScenarioBuilder(seed=5).medium("octree")
+
+
+def test_uniform_density_scales_area_with_n():
+    """Same density, more nodes => bigger area, roughly constant degree."""
+    small = ScenarioBuilder(seed=9).uniform_density(20, density=8.0).build()
+    large = ScenarioBuilder(seed=9).uniform_density(80, density=8.0).build()
+
+    def mean_degree(sc):
+        degrees = [len(sc.medium.neighbors(h.link_id)) for h in sc.hosts]
+        return sum(degrees) / len(degrees)
+
+    def extent(sc):
+        xs = [h.position[0] for h in sc.hosts]
+        return max(xs) - min(xs)
+
+    assert extent(large) > 1.5 * extent(small)
+    # degree concentrates around the requested density (loose bounds;
+    # it's a random placement)
+    assert 3.0 < mean_degree(small) < 16.0
+    assert 3.0 < mean_degree(large) < 16.0
 
 
 def test_unregistered_router_serializes_by_dotted_path():

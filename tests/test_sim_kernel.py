@@ -140,11 +140,78 @@ def test_drain_cancelled_compacts_heap():
     handles = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
     for h in handles[:7]:
         h.cancel()
+    assert sim.cancelled_pending == 7
     dropped = sim.drain_cancelled()
     assert dropped == 7
     assert sim.events_pending == 3
+    assert sim.cancelled_pending == 0
     sim.run()
     assert sim.events_executed == 3
+
+
+def test_cancelled_residue_is_tracked_through_pops():
+    sim = Simulator()
+    keep = [sim.schedule(float(i + 1), lambda: None) for i in range(4)]
+    drop = [sim.schedule(0.5, lambda: None) for _ in range(3)]
+    for h in drop:
+        h.cancel()
+        h.cancel()  # idempotent: must not double-count
+    assert sim.cancelled_pending == 3
+    sim.run()
+    assert sim.cancelled_pending == 0
+    assert sim.events_executed == len(keep)
+
+
+def test_heap_auto_compacts_when_cancelled_residue_dominates():
+    from repro.sim.kernel import AUTO_COMPACT_MIN_HEAP
+
+    sim = Simulator()
+    n = AUTO_COMPACT_MIN_HEAP + 200
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(n)]
+    # cancel until residue exceeds half the (large) heap: the kernel
+    # must compact on its own, without an explicit drain_cancelled()
+    cancelled = n // 2 + 2
+    for h in handles[:cancelled]:
+        h.cancel()
+    assert sim.compactions >= 1
+    # compaction fired mid-loop, so at most the few post-compaction
+    # cancels linger as residue -- not the thousands cancelled in total
+    assert sim.cancelled_pending < 100
+    assert sim.events_pending - sim.cancelled_pending == n - cancelled
+    sim.run()
+    assert sim.events_executed == n - cancelled
+
+
+def test_cancel_after_execution_is_not_counted_as_residue():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    sim.run()
+    handle.cancel()  # event already fired: nothing is in the heap
+    assert sim.cancelled_pending == 0
+
+
+def test_periodic_timer_stopping_itself_leaves_no_phantom_residue():
+    """A timer callback calling stop() cancels the event that is
+    currently executing; that must not drift the compaction counter."""
+    from repro.sim.process import PeriodicTimer
+
+    sim = Simulator()
+    timer = PeriodicTimer(sim, 1.0, lambda: timer.stop())
+    timer.start()
+    sim.run(until=10.0)
+    assert timer.ticks == 1
+    assert sim.cancelled_pending == 0
+
+
+def test_small_heaps_never_auto_compact():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    for h in handles:
+        h.cancel()
+    assert sim.compactions == 0
+    assert sim.events_pending == 100  # lazy residue, skipped on pop
+    sim.run()
+    assert sim.events_executed == 0
 
 
 def test_reentrant_run_rejected():
