@@ -13,7 +13,32 @@ Run:  pytest benchmarks/ --benchmark-only
 
 from __future__ import annotations
 
+import json
+import os
+from pathlib import Path
+
 from repro.scenarios.builder import Scenario, ScenarioBuilder
+
+#: Where machine-readable benchmark artifacts land (committed alongside
+#: the suite so the perf trajectory is diffable across PRs).
+BENCH_DIR = Path(__file__).resolve().parent
+
+
+def write_bench_json(name: str, payload: dict) -> Path | None:
+    """Write ``BENCH_<name>.json`` next to the benchmark suite.
+
+    Sorted keys + trailing newline keep the artifact diff-friendly; CI
+    and humans both read it to track perf across PRs.  The committed
+    snapshot holds wall-clock numbers, which are machine-dependent, so
+    an ordinary local ``pytest`` run must NOT dirty it: writes happen
+    only when ``REPRO_BENCH_WRITE`` is set (CI sets it; a PR author
+    refreshing the committed scorecard sets it deliberately).
+    """
+    if not os.environ.get("REPRO_BENCH_WRITE"):
+        return None
+    path = BENCH_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
 
 
 def chain(n: int, seed: int = 7, spacing: float = 200.0, **config) -> ScenarioBuilder:

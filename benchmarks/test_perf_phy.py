@@ -1,16 +1,25 @@
 """Experiment P4 -- PHY fast path: flood scheduling vs network size.
 
-One flood round (every node broadcasts once) costs O(N^2) under the
-naive full scan -- every broadcast distance-checks every radio -- and
-O(N * degree) under the spatial-hash grid.  This benchmark measures the
-wall-clock of a flood round at N in {50, 200, 500} on a constant-spacing
-grid topology (constant local density, the regime the index is built
-for), prints the scaling table, and asserts the claim that matters:
-**the grid path wins by >= 3x at N = 500**.
+Two stacked claims, each asserted against its own baseline:
 
-Receiver sets, loss draws, and traces are byte-identical between the two
-paths (tests/test_medium_equivalence.py pins that); speed is the only
-difference this experiment needs to establish.
+1. **Index asymptotics** (PR 2): one flood round (every node broadcasts
+   once) costs O(N^2) under the naive full scan and O(N * degree) under
+   the spatial-hash grid.  Measured on the *scalar* delivery loop so the
+   comparison isolates the index: **grid >= 3x naive at N = 500**.
+
+2. **Vectorised pipeline** (this PR): at a fixed (grid) index, the
+   numpy broadcast pipeline -- cached candidate blocks, one batched
+   distance computation, one batched loss draw, batch-scheduled heap
+   entries -- against the scalar loop at **N = 1000 with
+   loss_rate = 0.1**: **>= 2x**, with byte-identical deliveries
+   (asserted event-by-event, not eyeballed), and a flood round encodes
+   every distinct message at most once (``encode_call_count``).
+
+Receiver sets, loss draws, and traces are byte-identical across all
+index/pipeline combinations (tests/test_medium_equivalence.py and
+tests/test_vectorized_equivalence.py pin that); this experiment
+establishes the speed and writes the machine-readable
+``BENCH_phy.json`` scorecard consumed across PRs.
 """
 
 from __future__ import annotations
@@ -18,11 +27,14 @@ from __future__ import annotations
 import time
 
 from repro.ipv6.address import IPv6Address
+from repro.messages.codec import encode_call_count
+from repro.messages.ndp import NeighborSolicitation
 from repro.phy.medium import BROADCAST_LINK, Frame, WirelessMedium
 from repro.phy.topology import grid_positions
+from repro.scenarios import ScenarioBuilder
 from repro.sim.kernel import Simulator
 
-from _harness import print_rows
+from _harness import print_rows, write_bench_json
 
 SIZES = (50, 200, 500)
 SPACING = 180.0
@@ -30,13 +42,37 @@ RADIO_RANGE = 250.0
 SRC_IP = IPv6Address("fec0::bb")
 ROUNDS = 3
 
+#: The vectorised-pipeline benchmark: a dense 1000-node deployment
+#: (spacing 80 m at 250 m range ~ 26 neighbours) with 10% loss.
+VEC_N = 1000
+VEC_SPACING = 80.0
+VEC_LOSS = 0.1
 
-def build_medium(n: int, index: str) -> tuple[Simulator, WirelessMedium, list]:
+#: Scorecard accumulated by the tests in this file; flushed to
+#: BENCH_phy.json by whichever test runs last.
+_BENCH: dict = {}
+
+
+def _flush_bench() -> None:
+    if {"index_scaling", "vectorized"} <= set(_BENCH):
+        write_bench_json("phy", _BENCH)
+
+
+def build_medium(
+    n: int,
+    index: str,
+    vectorized: bool = False,
+    spacing: float = SPACING,
+    loss_rate: float = 0.0,
+) -> tuple[Simulator, WirelessMedium, list]:
     sim = Simulator(seed=1)
-    medium = WirelessMedium(sim, radio_range=RADIO_RANGE, index=index)
+    medium = WirelessMedium(
+        sim, radio_range=RADIO_RANGE, index=index,
+        vectorized=vectorized, loss_rate=loss_rate,
+    )
     radios = [
         medium.attach(tuple(pos), lambda f: None)
-        for pos in grid_positions(n, SPACING)
+        for pos in grid_positions(n, spacing)
     ]
     return sim, medium, radios
 
@@ -46,10 +82,16 @@ def flood_round(medium: WirelessMedium, radios: list) -> None:
         medium.broadcast(Frame(radio.link_id, BROADCAST_LINK, SRC_IP, "x", 64))
 
 
-def timed_flood(n: int, index: str) -> tuple[float, int]:
+def timed_flood(
+    n: int,
+    index: str,
+    vectorized: bool = False,
+    spacing: float = SPACING,
+    loss_rate: float = 0.0,
+) -> tuple[float, int]:
     """Best-of-ROUNDS wall-clock for one flood round; also the receiver
-    count of the last round (a cheap cross-check that both paths agree)."""
-    sim, medium, radios = build_medium(n, index)
+    count over all rounds (a cheap cross-check that paths agree)."""
+    sim, medium, radios = build_medium(n, index, vectorized, spacing, loss_rate)
     best = float("inf")
     for _ in range(ROUNDS):
         frames_before = medium.total_frames
@@ -66,6 +108,7 @@ def test_grid_flood_scales_past_naive(benchmark):
     rows = []
     speedups = {}
     for n in SIZES:
+        # Scalar path on both sides: this claim is about the *index*.
         naive_t, naive_rx = timed_flood(n, "naive")
         grid_t, grid_rx = timed_flood(n, "grid")
         # same receiver sets => same delivered-frame totals
@@ -78,10 +121,16 @@ def test_grid_flood_scales_past_naive(benchmark):
             f"{speedups[n]:.1f}x",
         ])
     print_rows(
-        "Flood round wall-clock: naive full scan vs spatial-hash grid",
+        "Flood round wall-clock: naive full scan vs spatial-hash grid (scalar path)",
         ["N", "naive (ms)", "grid (ms)", "speedup"],
         rows,
     )
+    _BENCH["index_scaling"] = {
+        "sizes": list(SIZES),
+        "spacing_m": SPACING,
+        "speedup_at_max_n": round(speedups[SIZES[-1]], 2),
+    }
+    _flush_bench()
 
     # The acceptance claim: quadratic -> near-linear pays off >= 3x by
     # N = 500.  (Typically 10x+; 3 keeps slow CI boxes honest.)
@@ -91,6 +140,105 @@ def test_grid_flood_scales_past_naive(benchmark):
 
     # Time the representative kernel: one grid-indexed flood round at N=500.
     sim, medium, radios = build_medium(500, "grid")
+
+    def round_and_drain():
+        flood_round(medium, radios)
+        sim.run()
+
+    benchmark(round_and_drain)
+
+
+def delivery_log(vectorized: bool, rounds: int = 2) -> tuple[list, tuple]:
+    """Every (time, receiver, size) delivery of ``rounds`` lossy flood
+    rounds at N = VEC_N, plus the medium counters."""
+    sim = Simulator(seed=9)
+    medium = WirelessMedium(
+        sim, radio_range=RADIO_RANGE, index="grid",
+        vectorized=vectorized, loss_rate=VEC_LOSS,
+    )
+    log: list = []
+    radios = []
+    for i, pos in enumerate(grid_positions(VEC_N, VEC_SPACING)):
+        radios.append(
+            medium.attach(
+                tuple(pos), lambda f, i=i: log.append((sim.now, i, f.size))
+            )
+        )
+    for _ in range(rounds):
+        flood_round(medium, radios)
+        sim.run()
+    counters = (medium.total_frames, medium.total_bytes, medium.dropped_frames)
+    return log, counters
+
+
+def test_vectorized_flood_beats_scalar_at_n1000(benchmark):
+    # -- byte-identical first: the speed claim is worthless otherwise.
+    scalar_log, scalar_counters = delivery_log(vectorized=False)
+    vec_log, vec_counters = delivery_log(vectorized=True)
+    assert vec_counters == scalar_counters
+    assert vec_log == scalar_log  # every delivery: same time, receiver, size
+
+    # -- then the wall-clock.  One re-measure before failing: shared CI
+    # boxes have noisy neighbours, and a single noisy best-of-ROUNDS
+    # must not fail a claim that holds comfortably on a quiet machine.
+    for attempt in range(2):
+        scalar_t, scalar_rx = timed_flood(
+            VEC_N, "grid", vectorized=False, spacing=VEC_SPACING, loss_rate=VEC_LOSS
+        )
+        vec_t, vec_rx = timed_flood(
+            VEC_N, "grid", vectorized=True, spacing=VEC_SPACING, loss_rate=VEC_LOSS
+        )
+        assert vec_rx == scalar_rx
+        speedup = scalar_t / vec_t
+        if speedup >= 2.0:
+            break
+    print_rows(
+        f"Vectorised broadcast pipeline at N={VEC_N}, loss={VEC_LOSS}",
+        ["path", "flood round (ms)", "speedup"],
+        [
+            ["scalar", f"{scalar_t * 1e3:.2f}", "1.0x"],
+            ["vectorized", f"{vec_t * 1e3:.2f}", f"{speedup:.1f}x"],
+        ],
+    )
+
+    # -- encode-once: a flood round (send + one re-forward of the same
+    # copy per node) encodes each distinct message exactly once.
+    sc = ScenarioBuilder(seed=3).grid(25, spacing=SPACING).build()
+    msgs = [
+        NeighborSolicitation(target=IPv6Address("fec0::1"), domain_name=f"n{i}")
+        for i in range(len(sc.hosts))
+    ]
+    encode_base = encode_call_count()
+    for node, msg in zip(sc.hosts, msgs):
+        node.broadcast(msg)
+    for node, msg in zip(sc.hosts, msgs):
+        node.broadcast(msg)
+    sc.sim.run()
+    encode_delta = encode_call_count() - encode_base
+    assert encode_delta <= len(msgs), (
+        f"{encode_delta} encodes for {len(msgs)} distinct messages"
+    )
+
+    _BENCH["vectorized"] = {
+        "n": VEC_N,
+        "spacing_m": VEC_SPACING,
+        "loss_rate": VEC_LOSS,
+        "scalar_ms": round(scalar_t * 1e3, 3),
+        "vectorized_ms": round(vec_t * 1e3, 3),
+        "speedup": round(speedup, 2),
+        "deliveries_checked": len(scalar_log),
+        "encode_calls_per_distinct_message": encode_delta / len(msgs),
+    }
+    _flush_bench()
+
+    # The acceptance claim: >= 2x over the scalar path at N = 1000 with
+    # loss.  (Typically ~2.5x here; 2 keeps slow CI boxes honest.)
+    assert speedup >= 2.0, f"vectorised speedup at N={VEC_N} was {speedup:.1f}x"
+
+    # Time the representative kernel: one vectorised lossy flood round.
+    sim, medium, radios = build_medium(
+        VEC_N, "grid", vectorized=True, spacing=VEC_SPACING, loss_rate=VEC_LOSS
+    )
 
     def round_and_drain():
         flood_round(medium, radios)

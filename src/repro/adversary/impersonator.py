@@ -26,7 +26,7 @@ from repro.ipv6.address import IPv6Address
 from repro.ipv6.cga import CGAParams
 from repro.messages import signing
 from repro.messages.base import CodecError
-from repro.messages.codec import decode_message, encode_message
+from repro.messages.codec import decode_message
 from repro.messages.data import DataPacket
 from repro.messages.dns import DNSQuery, DNSResponse
 from repro.routing.secure_dsr import SecureDSRRouter
@@ -86,7 +86,7 @@ class DNSImpersonatorRouter(SecureDSRRouter):
             dip=packet.sip,
             seq=self.node.next_seq(),
             route=reverse_route,
-            payload=encode_message(forged),
+            payload=forged.wire_bytes(),
             sent_at=self.node.sim.now,
             hop_limit=self.cfg.hop_limit,
         )

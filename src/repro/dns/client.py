@@ -15,7 +15,6 @@ from repro.core.node import Node
 from repro.ipv6.address import IPv6Address
 from repro.ipv6.prefixes import DNS_ANYCAST_ADDRESSES
 from repro.messages import signing
-from repro.messages.codec import encode_message
 from repro.messages.data import DataPacket
 from repro.messages.dns import (
     DNSQuery,
@@ -70,7 +69,7 @@ class DNSClient:
         router = self.node.router
         if router is None:
             raise RuntimeError(f"{self.node.name}: no router attached")
-        router.send_data(self.server_address, encode_message(app_msg))
+        router.send_data(self.server_address, app_msg.wire_bytes())
 
     def _query_timeout(self, ch: int) -> None:
         entry = self._pending_queries.pop(ch, None)

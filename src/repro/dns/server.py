@@ -33,7 +33,6 @@ from repro.ipv6.cga import CGAParams, verify_cga
 from repro.ipv6.prefixes import DNS_ANYCAST_ADDRESSES
 from repro.messages import signing
 from repro.messages.bootstrap import AREP, AREQ, DREP
-from repro.messages.codec import encode_message
 from repro.messages.data import DataPacket
 from repro.messages.dns import (
     DNSQuery,
@@ -184,7 +183,7 @@ class DNSServer:
             dip=request_packet.sip,
             seq=seq,
             route=reverse_route,
-            payload=encode_message(app_msg),
+            payload=app_msg.wire_bytes(),
             sent_at=self.node.sim.now,
             hop_limit=self.cfg.hop_limit,
         )

@@ -49,8 +49,37 @@ class Message:
     META: ClassVar[MessageMeta]
 
     def replace(self, **changes) -> "Message":
-        """Functional update (fields are immutable)."""
+        """Functional update (fields are immutable).
+
+        The new object starts with a cold wire cache: changed fields mean
+        changed bytes, and :meth:`wire_bytes` re-encodes lazily.
+        """
         return replace(self, **changes)
+
+    # Wire cache ---------------------------------------------------------
+    def wire_bytes(self) -> bytes:
+        """This message's wire encoding, computed at most once.
+
+        Messages are immutable wire objects, so the first encode (type id
+        byte + fields, via the codec) is cached on the instance; every
+        later consumer -- send-path size accounting, signing, tracing,
+        flood re-forwarding of the same copy -- reuses the same bytes.
+        The codec's ``encode_call_count()`` counts actual encodes, which
+        is how benchmarks prove "encode once per distinct message".
+        """
+        cached = self.__dict__.get("_wire_cache")
+        if cached is None:
+            from repro.messages.codec import encode_message
+
+            cached = encode_message(self)
+            # Frozen dataclass: bypass the immutability guard for the memo
+            # (not a field -- invisible to __eq__/__repr__/replace()).
+            object.__setattr__(self, "_wire_cache", cached)
+        return cached
+
+    def wire_size(self) -> int:
+        """Encoded size in bytes (cached via :meth:`wire_bytes`)."""
+        return len(self.wire_bytes())
 
     def summary(self) -> str:
         """One-line human-readable form for traces."""

@@ -61,11 +61,30 @@ for _cls in (
     register_message_type(_cls)
 
 
+#: Process-wide count of actual encode executions.  Cache hits through
+#: ``Message.wire_bytes`` do not increment it, so the delta across a
+#: simulation round measures exactly how many times the codec really ran
+#: (MetricsCollector snapshots it per run as ``encode_calls``).
+_encode_calls = 0
+
+
+def encode_call_count() -> int:
+    """Cumulative number of :func:`encode_message` executions so far."""
+    return _encode_calls
+
+
 def encode_message(msg: Message) -> bytes:
-    """Serialise ``msg`` to its wire form (type id byte + fields)."""
+    """Serialise ``msg`` to its wire form (type id byte + fields).
+
+    This always runs the encoder; callers that may touch the same
+    message more than once should go through ``msg.wire_bytes()``, which
+    caches the result on the (immutable) message.
+    """
+    global _encode_calls
     cls = type(msg)
     if MESSAGE_TYPES.get(cls.META.type_id) is not cls:
         raise CodecError(f"{cls.__name__} is not wire-registered")
+    _encode_calls += 1
     w = Writer()
     w.u8(cls.META.type_id)
     msg._encode_fields(w)
@@ -87,8 +106,8 @@ def decode_message(data: bytes) -> Message:
 
 
 def wire_size(msg: Message) -> int:
-    """Encoded size of ``msg`` in bytes."""
-    return len(encode_message(msg))
+    """Encoded size of ``msg`` in bytes (served from the wire cache)."""
+    return msg.wire_size()
 
 
 def table1_rows() -> list[tuple[str, str, str]]:

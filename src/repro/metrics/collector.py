@@ -19,6 +19,7 @@ from collections import defaultdict
 from dataclasses import dataclass, field
 
 from repro.ipv6.address import IPv6Address
+from repro.messages.codec import encode_call_count
 
 
 def percentile(values: list[float], q: float) -> float:
@@ -87,6 +88,32 @@ class MetricsCollector:
         self.discovery_latencies: list[float] = []
         self.creps_used = 0
         self.rerrs_received = 0
+        # codec work: snapshot of the process-wide encode counter, so
+        # ``encode_calls`` reads "actual message encodes since this
+        # collector was created" -- the wire cache's proof of work saved.
+        # ``None`` base marks a frozen (merged) collector that reports
+        # only its folded-in total and never accrues further.
+        self._encode_calls_base: int | None = encode_call_count()
+        self._encode_calls_merged = 0
+
+    @property
+    def encode_calls(self) -> int:
+        """Actual codec encode executions attributable to this collector.
+
+        Encodes executed since construction (collectors are created with
+        their scenario and read after its run, so this is "the run's
+        encodes" in the usual one-scenario-at-a-time flow), plus totals
+        folded in by :meth:`merge`.  A merged collector is frozen: it
+        reports exactly the sum of its children at merge time, and never
+        counts encodes that happen afterwards.  Wire-cache hits do not
+        count anywhere.
+        """
+        if self._encode_calls_base is None:
+            return self._encode_calls_merged
+        return (
+            encode_call_count() - self._encode_calls_base
+            + self._encode_calls_merged
+        )
 
     # -- message accounting ------------------------------------------------
     def on_send(self, msg_name: str, size: int) -> None:
@@ -222,6 +249,8 @@ class MetricsCollector:
             "crypto_sign_ops": self.crypto_total("sign"),
             "crypto_verify_ops": self.crypto_total("verify"),
             "crypto_verify_cache_hits": self.crypto_total("verify_cached"),
+            # codec
+            "encode_calls": self.encode_calls,
             # bootstrap
             "configured_nodes": len(self.dad_time),
             "dad_rounds_total": sum(self.dad_rounds.values()),
@@ -280,4 +309,8 @@ class MetricsCollector:
             merged.discovery_latencies.extend(coll.discovery_latencies)
             merged.creps_used += coll.creps_used
             merged.rerrs_received += coll.rerrs_received
+            merged._encode_calls_merged += coll.encode_calls
+        # Freeze: the merged view must not keep counting encodes that
+        # happen in this process after the merge (see encode_calls).
+        merged._encode_calls_base = None
         return merged

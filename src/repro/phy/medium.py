@@ -19,13 +19,41 @@ network-wide flood is near-linear in N instead of quadratic.  The
 receivers in ascending link-id order, so the ``phy/loss`` RNG draw
 sequence -- and every metric and trace -- is byte-identical across
 index choices.
+
+Broadcast pipeline
+------------------
+
+``broadcast`` runs one of two paths, selected by ``vectorized``
+(default on; ``False`` keeps the scalar loop for A/B comparison):
+
+* candidate lookup -- the index returns the cached
+  :class:`~repro.phy.neighbor_index.CandidateBlock` for the sender's
+  cell block: sorted candidate ids plus a numpy position matrix;
+* distance/loss -- one numpy subtraction + ``sqrt`` yields every
+  sender->candidate distance, and one
+  :meth:`~repro.sim.rng.SimRNG.random_batch` draw yields every
+  per-receiver loss variate;
+* batch schedule -- survivors are pushed onto the kernel heap via
+  :meth:`~repro.sim.kernel.Simulator.schedule_batch`, skipping
+  per-event handle allocation.
+
+Both paths compute distances as ``sqrt(dx*dx + dy*dy)`` -- multiply,
+add, and square root are all correctly-rounded IEEE-754 operations, so
+the scalar (``math.sqrt``) and vectorised (``numpy.sqrt``) forms are
+bit-identical -- and draw one ``phy/loss`` variate per in-range receiver
+in ascending link-id order, so scalar and vectorised runs (like grid
+and naive runs) produce byte-identical metrics and traces
+(tests/test_vectorized_equivalence.py pins this).
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from bisect import bisect_left
+from dataclasses import dataclass
 from typing import Any, Callable
+
+import numpy as np
 
 from repro.ipv6.address import IPv6Address
 from repro.phy.neighbor_index import INDEX_KINDS, make_index
@@ -93,6 +121,10 @@ class WirelessMedium:
     index:
         Neighbor index implementation: ``"grid"`` (spatial hash, the
         default) or ``"naive"`` (full scan).  Byte-identical results.
+    vectorized:
+        Run broadcasts through the numpy pipeline (default) or the
+        scalar loop.  Byte-identical results; the scalar path exists
+        for A/B benchmarking and equivalence tests.
     """
 
     def __init__(
@@ -105,6 +137,7 @@ class WirelessMedium:
         mac_retries: int = 3,
         ack_timeout: float = 5e-3,
         index: str = "grid",
+        vectorized: bool = True,
     ):
         if radio_range <= 0:
             raise ValueError("radio_range must be positive")
@@ -122,6 +155,7 @@ class WirelessMedium:
         self.mac_retries = mac_retries
         self.ack_timeout = ack_timeout
         self.index_kind = index
+        self.vectorized = bool(vectorized)
         self._index = make_index(index, radio_range)
         #: Optional TraceRecorder for medium-level notes (wired by NetContext).
         self.trace = None
@@ -129,8 +163,21 @@ class WirelessMedium:
         #: Radios that receive copies of *unicast* frames they can overhear
         #: (802.11 monitor mode; used by eavesdropping adversaries).
         self._promiscuous: set[int] = set()
+        #: Sorted snapshot of ``_promiscuous``, rebuilt on change so the
+        #: per-attempt unicast loop never re-sorts (it retries often).
+        self._promiscuous_sorted: tuple[int, ...] = ()
         self._next_link_id = 0
         self._rng = sim.rng("phy/loss")
+        #: Vectorised-path memo: sender link id -> (block, rx_ids, dists).
+        #: Valid exactly while the index still serves the *same*
+        #: CandidateBlock object for the sender's cell -- blocks are
+        #: immutable and replaced wholesale on any insert/remove/move/
+        #: set_enabled that touches their footprint (which includes any
+        #: move of the sender itself), so object identity is a sound
+        #: freshness token.  Static and low-mobility scenarios therefore
+        #: compute each sender's receiver set and distances once, not
+        #: once per frame.
+        self._range_cache: dict[int, tuple] = {}
         # Medium-wide counters.
         self.total_frames = 0
         self.total_bytes = 0
@@ -158,6 +205,7 @@ class WirelessMedium:
         """Leave the medium (host powered off / departed)."""
         if self._radios.pop(link_id, None) is not None:
             self._index.remove(link_id)
+            self._range_cache.pop(link_id, None)
 
     def has_link(self, link_id: int) -> bool:
         """True while ``link_id`` is attached (mobility models poll this)."""
@@ -191,6 +239,7 @@ class WirelessMedium:
             self._promiscuous.add(link_id)
         else:
             self._promiscuous.discard(link_id)
+        self._promiscuous_sorted = tuple(sorted(self._promiscuous))
 
     def position(self, link_id: int) -> tuple[float, float]:
         return self._radios[link_id].position
@@ -202,7 +251,11 @@ class WirelessMedium:
     # -- geometry ---------------------------------------------------------
     def distance(self, a: int, b: int) -> float:
         pa, pb = self._radios[a].position, self._radios[b].position
-        return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+        dx, dy = pa[0] - pb[0], pa[1] - pb[1]
+        # sqrt(dx*dx + dy*dy), NOT math.hypot: multiply/add/sqrt are
+        # correctly-rounded IEEE-754 ops, so this form is bit-identical
+        # to the vectorised numpy computation (math.hypot is not).
+        return math.sqrt(dx * dx + dy * dy)
 
     def in_range(self, a: int, b: int) -> bool:
         if a == b:
@@ -212,25 +265,35 @@ class WirelessMedium:
             return False
         return self.distance(a, b) <= self.radio_range
 
-    def _in_range_ids(self, link_id: int) -> list[int]:
-        """Enabled link ids within range of ``link_id``, ascending.
+    def _in_range_pairs(self, link_id: int) -> list[tuple[int, float]]:
+        """``(other_id, distance)`` for enabled radios in range, ascending.
 
-        The ascending order is load-bearing: it matches the naive scan's
+        Each sender->receiver distance is measured exactly once and
+        carried to the delay computation (the old path measured it twice:
+        once for the range test, again for the delivery delay).  The
+        ascending order is load-bearing: it matches the naive scan's
         iteration order, which pins the ``phy/loss`` draw sequence (see
         :mod:`repro.phy.neighbor_index`).
         """
         radio = self._radios.get(link_id)
         if radio is None or not radio.enabled:
             return []
-        return [
-            other
-            for other in self._index.candidates_near(radio.position)
-            if other != link_id and self.in_range(link_id, other)
-        ]
+        px, py = radio.position
+        r = self.radio_range
+        block = self._index.candidates_with_positions(radio.position)
+        out: list[tuple[int, float]] = []
+        for other, (ox, oy) in zip(block.ids, block.pts):
+            if other == link_id:
+                continue
+            dx, dy = px - ox, py - oy
+            d = math.sqrt(dx * dx + dy * dy)
+            if d <= r:
+                out.append((other, d))
+        return out
 
     def neighbors(self, link_id: int) -> list[int]:
         """Link ids currently within radio range (instantaneous truth)."""
-        return self._in_range_ids(link_id)
+        return [other for other, _ in self._in_range_pairs(link_id)]
 
     # -- timing -----------------------------------------------------------
     def tx_delay(self, size: int) -> float:
@@ -253,15 +316,89 @@ class WirelessMedium:
         self.total_bytes += frame.size
         sender.frames_sent += 1
         sender.bytes_sent += frame.size
+        if self.vectorized:
+            return self._broadcast_vectorized(frame, sender)
         count = 0
-        for other_id in self._in_range_ids(frame.src_link):
+        for other_id, dist in self._in_range_pairs(frame.src_link):
             count += 1
             if self._rng.random() < self.loss_rate:
                 self.dropped_frames += 1
                 continue
-            delay = self._delivery_delay(frame.size, self.distance(frame.src_link, other_id))
+            delay = self._delivery_delay(frame.size, dist)
             self.sim.schedule(delay, self._deliver, other_id, frame)
         return count
+
+    def _broadcast_vectorized(self, frame: Frame, sender: RadioHandle) -> int:
+        """The numpy pipeline: cached receiver set -> batch losses ->
+        batch schedule.  Byte-identical to the scalar loop above."""
+        src = frame.src_link
+        block = self._index.candidates_with_positions(sender.position)
+        cached = self._range_cache.get(src)
+        if cached is None or cached[0] is not block:
+            cached = self._compute_range(src, sender, block)
+            self._range_cache[src] = cached
+        _, rx_ids, rx_dists, rx_id_list = cached
+        count = rx_ids.size
+        if count == 0:
+            return 0
+        # One batched draw per in-range receiver, ascending id -- the same
+        # stream consumption as `count` scalar draws (SimRNG.random_batch).
+        draws = self._rng.random_batch(count)
+        if self.loss_rate > 0.0:
+            survived = draws >= self.loss_rate
+            delivered = int(survived.sum())
+            if delivered < count:
+                self.dropped_frames += count - delivered
+                if delivered == 0:
+                    return count
+                rx_dists = rx_dists[survived]
+                rx_id_list = [
+                    rx for rx, ok in zip(rx_id_list, survived.tolist()) if ok
+                ]
+        # (tx + d/c) + proc in exactly the scalar path's operation order;
+        # the in-place ops touch only this fresh `delays` array, never the
+        # cached distances.
+        delays = rx_dists / _SPEED_OF_LIGHT
+        delays += self.tx_delay(frame.size)
+        delays += self.proc_delay
+        # .tolist() yields python floats: event times (and thus sim.now,
+        # latencies, traces, JSON summaries) must never carry numpy
+        # scalar types.
+        self.sim.schedule_batch(
+            delays.tolist(),
+            self._deliver,
+            [(rx, frame) for rx in rx_id_list],
+        )
+        return count
+
+    def _compute_range(self, src: int, sender: RadioHandle, block) -> tuple:
+        """Distances from ``src`` to every in-range candidate in ``block``.
+
+        Returns ``(block, rx_ids, rx_dists, rx_id_list)`` with receivers
+        in ascending link-id order; cached per sender until the index
+        replaces the block (see ``_range_cache``).
+        """
+        if not block.ids:
+            empty = np.empty(0, dtype=np.float64)
+            return (block, np.empty(0, dtype=np.int64), empty, [])
+        sx, sy = sender.position
+        dx = block.pos_arr[:, 0] - sx
+        dy = block.pos_arr[:, 1] - sy
+        # In-place sqrt(dx*dx + dy*dy): the same correctly-rounded IEEE
+        # op sequence as the scalar path, no extra temporaries.
+        dx *= dx
+        dy *= dy
+        dx += dy
+        dists = np.sqrt(dx, out=dx)
+        in_range = dists <= self.radio_range
+        # The sender is enabled, hence present in its own block: mask it
+        # out by position (sorted ids) instead of a full-array compare.
+        i = bisect_left(block.ids, src)
+        if i < len(block.ids) and block.ids[i] == src:
+            in_range[i] = False
+        rx_ids = block.id_arr[in_range]
+        rx_dists = dists[in_range]
+        return (block, rx_ids, rx_dists, rx_ids.tolist())
 
     def unicast(
         self,
@@ -295,20 +432,23 @@ class WirelessMedium:
         sender.bytes_sent += frame.size
 
         # Monitor-mode radios overhear the transmission regardless of the
-        # MAC destination (each copy draws loss independently).  Sorted
-        # iteration keeps the loss-draw sequence independent of set
-        # internals, part of the index-equivalence determinism contract.
-        for snoop in sorted(self._promiscuous):
-            if snoop in (frame.src_link, frame.dst_link):
-                continue
-            if not self.in_range(frame.src_link, snoop):
-                continue
-            if self._rng.random() < self.loss_rate:
-                continue
-            delay = self._delivery_delay(
-                frame.size, self.distance(frame.src_link, snoop)
-            )
-            self.sim.schedule(delay, self._deliver, snoop, frame)
+        # MAC destination (each copy draws loss independently).  The empty
+        # set -- the common case, checked first so retries pay nothing --
+        # skips the loop entirely; the sorted snapshot is maintained by
+        # set_promiscuous, keeping the loss-draw sequence independent of
+        # set internals (the index-equivalence determinism contract).
+        if self._promiscuous:
+            for snoop in self._promiscuous_sorted:
+                if snoop in (frame.src_link, frame.dst_link):
+                    continue
+                if not self.in_range(frame.src_link, snoop):
+                    continue
+                if self._rng.random() < self.loss_rate:
+                    continue
+                delay = self._delivery_delay(
+                    frame.size, self.distance(frame.src_link, snoop)
+                )
+                self.sim.schedule(delay, self._deliver, snoop, frame)
 
         reachable = self.in_range(frame.src_link, frame.dst_link)
         lost = reachable and self._rng.random() < self.loss_rate

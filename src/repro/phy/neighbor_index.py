@@ -14,6 +14,22 @@ only local occupancy, and ``attach``/``detach``/``set_position``/
 flood round over a bounded-density deployment is O(N * degree) instead
 of O(N^2).
 
+Candidate-block cache
+---------------------
+
+Both indices additionally answer
+``candidates_with_positions(position)``: the enabled candidates *with*
+their positions, materialised once per cell block as a
+:class:`CandidateBlock` (sorted ids + a numpy position matrix) and
+cached until a mutation touches the block.  A broadcast-heavy static or
+low-mobility scenario therefore stops re-walking (and re-sorting) the
+3x3 cell block on every frame, and the vectorised broadcast path gets
+its distance computation as a single numpy subtraction instead of a
+per-candidate dict walk.  ``insert``/``remove``/``move``/``set_enabled``
+invalidate exactly the (up to nine) cached blocks whose 3x3 footprint
+covers the mutated cell, so the cache never serves stale membership or
+stale positions.
+
 Determinism-ordering contract
 -----------------------------
 
@@ -22,7 +38,10 @@ what keeps grid-indexed runs **byte-identical** to the naive scan:
 
 1. ``candidates_near(position)`` returns a *superset* of every enabled
    radio within ``cell_size`` of ``position`` (false positives are fine;
-   false negatives are not).
+   false negatives are not).  ``candidates_with_positions`` returns the
+   same superset restricted to *enabled* radios (the medium draws no RNG
+   for disabled ones either way), with positions exactly equal to those
+   last supplied via ``insert``/``move``.
 2. Candidates are yielded in **strictly ascending link-id order**.
 
 The medium filters candidates with the exact unit-disk test and draws
@@ -38,21 +57,61 @@ sweep, ...) must sort its candidates the same way before yielding.
 
 from __future__ import annotations
 
+from typing import NamedTuple
+
+import numpy as np
+
+
+class CandidateBlock(NamedTuple):
+    """One cached answer to "who is (maybe) near this cell block?".
+
+    ``ids``/``pts`` serve the scalar path (plain-python iteration);
+    ``id_arr``/``pos_arr`` serve the vectorised path (one numpy
+    subtraction per broadcast).  All four views list the same radios in
+    ascending link-id order.  Blocks are immutable once built -- a
+    mutation replaces the cache entry rather than editing it, so a block
+    handed to the medium can never change mid-broadcast.
+    """
+
+    ids: tuple[int, ...]
+    pts: tuple[tuple[float, float], ...]
+    id_arr: np.ndarray  # shape (k,), int64
+    pos_arr: np.ndarray  # shape (k, 2), float64
+
+
+_EMPTY_BLOCK = CandidateBlock(
+    (), (), np.empty(0, dtype=np.int64), np.empty((0, 2), dtype=np.float64)
+)
+
+
+def _build_block(ids: list[int], positions: list[tuple[float, float]]) -> CandidateBlock:
+    if not ids:
+        return _EMPTY_BLOCK
+    return CandidateBlock(
+        tuple(ids),
+        tuple(positions),
+        np.array(ids, dtype=np.int64),
+        np.array(positions, dtype=np.float64).reshape(len(ids), 2),
+    )
+
 
 class NaiveScanIndex:
     """The O(N) reference index: every attached radio is a candidate.
 
     Exists so the medium has a single code path whichever index is
     selected, and so equivalence tests can pin the grid against the
-    original full-scan semantics.
+    original full-scan semantics.  Its candidate "block" is the whole
+    network, cached as one :class:`CandidateBlock` and invalidated by
+    any mutation.
     """
 
     kind = "naive"
 
     def __init__(self):
-        # link_id -> enabled; insertion-ordered, and link ids are
-        # monotonic, so iteration is already ascending (contract #2).
-        self._links: dict[int, bool] = {}
+        # link_id -> (position, enabled); insertion-ordered, and link ids
+        # are monotonic, so iteration is already ascending (contract #2).
+        self._links: dict[int, tuple[tuple[float, float], bool]] = {}
+        self._block: CandidateBlock | None = None
 
     def __len__(self) -> int:
         return len(self._links)
@@ -61,23 +120,43 @@ class NaiveScanIndex:
         return link_id in self._links
 
     def insert(self, link_id: int, position: tuple[float, float]) -> None:
-        self._links[link_id] = True
+        self._links[link_id] = ((float(position[0]), float(position[1])), True)
+        self._block = None
 
     def remove(self, link_id: int) -> None:
-        self._links.pop(link_id, None)
+        if self._links.pop(link_id, None) is not None:
+            self._block = None
 
     def move(self, link_id: int, position: tuple[float, float]) -> None:
-        pass  # position plays no role in the full scan
+        entry = self._links.get(link_id)
+        if entry is None:
+            return
+        self._links[link_id] = ((float(position[0]), float(position[1])), entry[1])
+        self._block = None
 
     def set_enabled(self, link_id: int, enabled: bool) -> None:
-        if link_id in self._links:
-            self._links[link_id] = enabled
+        entry = self._links.get(link_id)
+        if entry is not None and entry[1] != enabled:
+            self._links[link_id] = (entry[0], enabled)
+            self._block = None
 
     def candidates_near(self, position: tuple[float, float]) -> list[int]:
         """All attached link ids (disabled ones included; they are
         filtered by the medium's exact in-range test, exactly as the
         original scan did -- and they draw no RNG either way)."""
         return list(self._links)
+
+    def candidates_with_positions(
+        self, position: tuple[float, float]
+    ) -> CandidateBlock:
+        """Every *enabled* radio with its position, ascending id."""
+        block = self._block
+        if block is None:
+            ids = [lid for lid, (_, enabled) in self._links.items() if enabled]
+            pts = [self._links[lid][0] for lid in ids]
+            block = _build_block(ids, pts)
+            self._block = block
+        return block
 
 
 class SpatialHashGrid:
@@ -88,7 +167,8 @@ class SpatialHashGrid:
     grid stores only *enabled* radios in its cells -- a disabled radio
     keeps its position record but occupies no cell, so churn-heavy
     scenarios do not pay for absent nodes -- and re-enters its current
-    cell on re-enable.
+    cell on re-enable.  Query results are cached per cell block and
+    invalidated precisely (see "Candidate-block cache" above).
     """
 
     kind = "grid"
@@ -101,6 +181,8 @@ class SpatialHashGrid:
         self._cells: dict[tuple[int, int], set[int]] = {}
         # link_id -> (position, enabled)
         self._links: dict[int, tuple[tuple[float, float], bool]] = {}
+        # center cell key -> cached CandidateBlock for its 3x3 footprint
+        self._block_cache: dict[tuple[int, int], CandidateBlock] = {}
 
     def __len__(self) -> int:
         return len(self._links)
@@ -112,6 +194,11 @@ class SpatialHashGrid:
     def occupied_cells(self) -> int:
         """Non-empty cell count (introspection for tests/benchmarks)."""
         return sum(1 for members in self._cells.values() if members)
+
+    @property
+    def cached_blocks(self) -> int:
+        """Live cached candidate blocks (introspection for tests)."""
+        return len(self._block_cache)
 
     def _cell_of(self, position: tuple[float, float]) -> tuple[int, int]:
         s = self.cell_size
@@ -127,11 +214,23 @@ class SpatialHashGrid:
             if not members:
                 del self._cells[cell]
 
+    def _invalidate_around(self, cell: tuple[int, int]) -> None:
+        """Drop every cached block whose 3x3 footprint covers ``cell``."""
+        cache = self._block_cache
+        if not cache:
+            return
+        cx, cy = cell
+        for dx in (-1, 0, 1):
+            for dy in (-1, 0, 1):
+                cache.pop((cx + dx, cy + dy), None)
+
     # -- incremental maintenance ---------------------------------------
     def insert(self, link_id: int, position: tuple[float, float]) -> None:
         position = (float(position[0]), float(position[1]))
         self._links[link_id] = (position, True)
-        self._cell_add(self._cell_of(position), link_id)
+        cell = self._cell_of(position)
+        self._cell_add(cell, link_id)
+        self._invalidate_around(cell)
 
     def remove(self, link_id: int) -> None:
         entry = self._links.pop(link_id, None)
@@ -139,7 +238,9 @@ class SpatialHashGrid:
             return
         position, enabled = entry
         if enabled:
-            self._cell_discard(self._cell_of(position), link_id)
+            cell = self._cell_of(position)
+            self._cell_discard(cell, link_id)
+            self._invalidate_around(cell)
 
     def move(self, link_id: int, position: tuple[float, float]) -> None:
         entry = self._links.get(link_id)
@@ -149,11 +250,17 @@ class SpatialHashGrid:
         position = (float(position[0]), float(position[1]))
         self._links[link_id] = (position, enabled)
         if not enabled:
-            return  # occupies no cell; re-enable will place it
+            return  # occupies no cell (and no cached block); re-enable places it
         old_cell, new_cell = self._cell_of(old_position), self._cell_of(position)
         if old_cell != new_cell:
             self._cell_discard(old_cell, link_id)
             self._cell_add(new_cell, link_id)
+            self._invalidate_around(old_cell)
+            self._invalidate_around(new_cell)
+        else:
+            # Same cell, new coordinates: membership is intact but any
+            # cached block holds the stale position.
+            self._invalidate_around(old_cell)
 
     def set_enabled(self, link_id: int, enabled: bool) -> None:
         entry = self._links.get(link_id)
@@ -163,25 +270,39 @@ class SpatialHashGrid:
         if was_enabled == enabled:
             return
         self._links[link_id] = (position, enabled)
+        cell = self._cell_of(position)
         if enabled:
-            self._cell_add(self._cell_of(position), link_id)
+            self._cell_add(cell, link_id)
         else:
-            self._cell_discard(self._cell_of(position), link_id)
+            self._cell_discard(cell, link_id)
+        self._invalidate_around(cell)
 
     # -- queries --------------------------------------------------------
     def candidates_near(self, position: tuple[float, float]) -> list[int]:
         """Enabled link ids in the 3x3 cell block around ``position``,
         in ascending link-id order (the determinism contract)."""
-        cx, cy = self._cell_of(position)
-        cells = self._cells
-        out: list[int] = []
-        for dx in (-1, 0, 1):
-            for dy in (-1, 0, 1):
-                members = cells.get((cx + dx, cy + dy))
-                if members:
-                    out.extend(members)
-        out.sort()
-        return out
+        return list(self.candidates_with_positions(position).ids)
+
+    def candidates_with_positions(
+        self, position: tuple[float, float]
+    ) -> CandidateBlock:
+        """The cached :class:`CandidateBlock` for ``position``'s cell."""
+        key = self._cell_of(position)
+        block = self._block_cache.get(key)
+        if block is None:
+            cx, cy = key
+            cells = self._cells
+            ids: list[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    members = cells.get((cx + dx, cy + dy))
+                    if members:
+                        ids.extend(members)
+            ids.sort()
+            links = self._links
+            block = _build_block(ids, [links[lid][0] for lid in ids])
+            self._block_cache[key] = block
+        return block
 
 
 #: Selectable index implementations, by spec name.

@@ -178,6 +178,7 @@ class ScenarioBuilder:
         self._radio_range = 250.0
         self._loss_rate = 0.0
         self._medium_index = "grid"
+        self._medium_vectorized = True
         self._with_dns = False
         self._dns_position: tuple[float, float] | None = None
         self._dns_preregistrations: list[tuple[str, IPv6Address]] = []
@@ -305,15 +306,21 @@ class ScenarioBuilder:
         self._loss_rate = loss_rate
         return self
 
-    def medium(self, index: str = "grid") -> "ScenarioBuilder":
-        """Neighbor index for the medium: ``"grid"`` (spatial hash,
-        default) or ``"naive"`` (full scan).  Results are byte-identical
-        either way; campaigns sweep this to regression-test that claim."""
+    def medium(self, index: str = "grid", vectorized: bool = True) -> "ScenarioBuilder":
+        """Medium knobs: neighbor index (``"grid"`` spatial hash, the
+        default, or ``"naive"`` full scan) and the broadcast pipeline
+        (``vectorized=True``, the default numpy path, or ``False`` for
+        the scalar loop).  Results are byte-identical across all four
+        combinations; campaigns sweep ``medium_index`` /
+        ``medium_vectorized`` to regression-test that claim.  Note this
+        sets both knobs (a bare ``.medium("naive")`` resets
+        ``vectorized`` to its default)."""
         if index not in ("grid", "naive"):
             raise ValueError(
                 f"unknown medium index {index!r} (expected 'grid' or 'naive')"
             )
         self._medium_index = index
+        self._medium_vectorized = bool(vectorized)
         return self
 
     # -- protocol ----------------------------------------------------------------
@@ -359,7 +366,7 @@ class ScenarioBuilder:
         known = {
             "seed", "topology", "radio", "config", "router",
             "routers_by_name", "dns", "preregister", "mobility",
-            "medium_index",
+            "medium_index", "medium_vectorized",
         }
         unknown = set(spec) - known
         if unknown:
@@ -374,7 +381,10 @@ class ScenarioBuilder:
             radio_range=float(radio.get("range", 250.0)),
             loss_rate=float(radio.get("loss_rate", 0.0)),
         )
-        builder.medium(str(spec.get("medium_index", "grid")))
+        builder.medium(
+            str(spec.get("medium_index", "grid")),
+            vectorized=bool(spec.get("medium_vectorized", True)),
+        )
         if spec.get("config"):
             builder.config(**spec["config"])
 
@@ -440,6 +450,8 @@ class ScenarioBuilder:
         }
         if self._medium_index != "grid":
             spec["medium_index"] = self._medium_index
+        if not self._medium_vectorized:
+            spec["medium_vectorized"] = False
         if self._config_overrides:
             spec["config"] = dict(self._config_overrides)
         if self._router_cls_by_name:
@@ -468,7 +480,7 @@ class ScenarioBuilder:
         sim = Simulator(seed=self.seed)
         medium = WirelessMedium(
             sim, radio_range=self._radio_range, loss_rate=self._loss_rate,
-            index=self._medium_index,
+            index=self._medium_index, vectorized=self._medium_vectorized,
         )
         ctx = NetContext(sim=sim, medium=medium)
 

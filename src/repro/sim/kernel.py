@@ -1,10 +1,18 @@
 """The discrete-event simulation kernel.
 
-A :class:`Simulator` owns a simulation clock and an event queue.  Events
-are ``(time, priority, seq, callback)`` tuples kept in a binary heap;
-``seq`` is a monotonically increasing insertion counter so that events
-scheduled for the same instant fire in FIFO order, which makes every run
-deterministic.
+A :class:`Simulator` owns a simulation clock and an event queue.  Heap
+entries are plain ``(time, priority, seq, payload)`` tuples; ``seq`` is
+a monotonically increasing insertion counter so that events scheduled
+for the same instant fire in FIFO order, which makes every run
+deterministic.  Because ``seq`` is unique, tuple comparison never
+reaches ``payload`` -- heap ordering runs entirely in C, which matters:
+comparisons during ``heappush``/``heappop`` are the single hottest
+operation in a large simulation.
+
+``payload`` is either an :class:`Event` (the cancellable record behind
+an :class:`EventHandle`) or, for :meth:`Simulator.schedule_batch`, a
+bare ``(callback, args)`` tuple -- batch-scheduled events cannot be
+cancelled, so they skip the Event allocation entirely.
 
 The kernel deliberately has no notion of "processes" or coroutines: the
 protocol stack is written in callback style, which profiles faster in
@@ -15,7 +23,7 @@ in :mod:`repro.sim.process`.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 
@@ -23,24 +31,25 @@ class SimulationError(RuntimeError):
     """Raised for kernel misuse (scheduling in the past, running twice...)."""
 
 
-@dataclass(order=True)
+@dataclass(slots=True)
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback (the payload of a heap entry).
 
-    Ordering is ``(time, priority, seq)``; ``callback``/``args`` do not
-    participate in comparisons.  Lower ``priority`` fires first among
-    events at the same timestamp.
+    Events are never compared -- heap ordering is decided by the
+    ``(time, priority, seq)`` prefix of the entry tuple -- so this is a
+    plain record.  ``slots=True``: events are among the most allocated
+    objects in a large simulation.
     """
 
     time: float
     priority: int
     seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    callback: Callable[..., None]
+    args: tuple = ()
+    cancelled: bool = False
     #: Set once the kernel pops the entry; a later cancel() is then a
     #: pure no-op and must not count as heap residue.
-    popped: bool = field(compare=False, default=False)
+    popped: bool = False
 
 
 class EventHandle:
@@ -86,6 +95,14 @@ class EventHandle:
 AUTO_COMPACT_MIN_HEAP = 4096
 
 
+def _entry_cancelled(entry: tuple) -> bool:
+    """True when a heap entry's payload is a cancelled :class:`Event`
+    (batch payloads -- bare ``(callback, args)`` tuples -- have no
+    cancel path)."""
+    payload = entry[3]
+    return type(payload) is Event and payload.cancelled
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -106,7 +123,7 @@ class Simulator:
     """
 
     def __init__(self, seed: int = 0):
-        self._heap: list[Event] = []
+        self._heap: list[tuple] = []
         self._now: float = 0.0
         self._seq: int = 0
         self._running = False
@@ -196,9 +213,46 @@ class Simulator:
                 f"cannot schedule at t={time} < now={self._now}"
             )
         event = Event(time, priority, self._seq, callback, args)
+        heapq.heappush(self._heap, (time, priority, self._seq, event))
         self._seq += 1
-        heapq.heappush(self._heap, event)
         return EventHandle(event, self)
+
+    def schedule_batch(
+        self,
+        delays,
+        callback: Callable[..., None],
+        args_seq,
+        priority: int = 0,
+    ) -> None:
+        """Schedule ``callback(*args)`` once per ``(delay, args)`` pair.
+
+        The bulk form of :meth:`schedule` for hot paths that fan one
+        transmission out to many receivers: pre-built ``(time, priority,
+        seq, (callback, args))`` heap entries are pushed directly, with
+        no per-event :class:`Event`/:class:`EventHandle` allocation, so
+        none of the events can be cancelled individually.  Entries get
+        consecutive ``seq`` numbers in iteration order, which makes a
+        batch push observably identical (including FIFO tie-breaking) to
+        an equivalent sequence of :meth:`schedule` calls.
+
+        All delays are validated before anything is pushed: an invalid
+        batch schedules nothing (batch entries cannot be cancelled, so a
+        partial push would be unrecoverable).
+        """
+        delays = delays if isinstance(delays, (list, tuple)) else list(delays)
+        for delay in delays:
+            if delay < 0:
+                raise SimulationError(
+                    f"cannot schedule into the past (delay={delay})"
+                )
+        now = self._now
+        heap = self._heap
+        push = heapq.heappush
+        seq = self._seq
+        for delay, args in zip(delays, args_seq):
+            push(heap, (now + delay, priority, seq, (callback, args)))
+            seq += 1
+        self._seq = seq
 
     # ------------------------------------------------------------------
     # execution
@@ -223,14 +277,18 @@ class Simulator:
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if queue is empty."""
         while self._heap:
-            event = heapq.heappop(self._heap)
-            event.popped = True
-            if event.cancelled:
-                self._cancelled_pending -= 1
-                continue
-            self._now = event.time
+            time, _, _, payload = heapq.heappop(self._heap)
+            if type(payload) is Event:
+                payload.popped = True
+                if payload.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                callback, args = payload.callback, payload.args
+            else:
+                callback, args = payload
+            self._now = time
             self._events_executed += 1
-            event.callback(*event.args)
+            callback(*args)
             return True
         return False
 
@@ -245,22 +303,27 @@ class Simulator:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
+            while heap:
                 if max_events is not None and executed >= max_events:
                     return
-                event = self._heap[0]
-                if until is not None and event.time > until:
+                if until is not None and heap[0][0] > until:
                     break
-                heapq.heappop(self._heap)
-                event.popped = True
-                if event.cancelled:
-                    self._cancelled_pending -= 1
-                    continue
-                self._now = event.time
+                time, _, _, payload = pop(heap)
+                if type(payload) is Event:
+                    payload.popped = True
+                    if payload.cancelled:
+                        self._cancelled_pending -= 1
+                        continue
+                    callback, args = payload.callback, payload.args
+                else:
+                    callback, args = payload
+                self._now = time
                 self._events_executed += 1
                 executed += 1
-                event.callback(*event.args)
+                callback(*args)
             if until is not None and until > self._now:
                 self._now = until
         finally:
@@ -274,7 +337,7 @@ class Simulator:
         explicitly for long simulations with unusual cancel patterns.
         """
         before = len(self._heap)
-        live = [e for e in self._heap if not e.cancelled]
+        live = [entry for entry in self._heap if not _entry_cancelled(entry)]
         heapq.heapify(live)
         self._heap = live
         self._cancelled_pending = 0

@@ -99,6 +99,20 @@ class SimRNG:
         self._gen.shuffle(lst)
 
     # -- vector draws ---------------------------------------------------
+    def random_batch(self, n: int) -> np.ndarray:
+        """``n`` uniform floats in [0, 1) in one vectorised draw.
+
+        Stream-identical to ``n`` successive :meth:`random` calls: PCG64
+        consumes 64 bits per double either way, so a consumer may switch
+        between scalar and batched draws (or mix batch sizes) without
+        perturbing the stream.  This is the contract that lets the
+        medium's vectorised broadcast path reproduce the scalar path's
+        loss draws byte-for-byte (pinned by tests/test_sim_rng.py).
+        """
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return self._gen.random(n)
+
     def uniform_array(self, lo: float, hi: float, size) -> np.ndarray:
         """Vectorised uniform draws; preferred for bulk placement/mobility."""
         return self._gen.uniform(lo, hi, size=size)

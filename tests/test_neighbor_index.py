@@ -157,3 +157,115 @@ def test_randomized_churn_matches_brute_force(kind):
         assert cands == sorted(cands)
         live = {lid: p for lid, p in positions.items() if enabled[lid]}
         assert brute_force(live, query, RANGE) <= set(cands)
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_candidates_with_positions_matches_candidates_near(kind):
+    """Same enabled radios, same ascending order, exact stored positions."""
+    index = make_index(kind, RANGE)
+    rng = SimRNG(21, "test/blocks")
+    positions = {}
+    for lid in range(40):
+        pos = (rng.uniform(-300, 300), rng.uniform(-300, 300))
+        positions[lid] = pos
+        index.insert(lid, pos)
+    index.set_enabled(7, False)
+    index.set_enabled(13, False)
+    for lid, pos in positions.items():
+        block = index.candidates_with_positions(pos)
+        enabled_cands = [
+            c for c in index.candidates_near(pos)
+            if c not in (7, 13)
+        ]
+        assert list(block.ids) == enabled_cands
+        assert list(block.ids) == sorted(block.ids)
+        assert 7 not in block.ids and 13 not in block.ids
+        for cand, pt in zip(block.ids, block.pts):
+            assert pt == positions[cand]
+        # the numpy views agree with the python views
+        assert block.id_arr.tolist() == list(block.ids)
+        assert block.pos_arr.tolist() == [list(p) for p in block.pts]
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_candidate_blocks_are_cached_until_invalidated(kind):
+    """Repeat queries return the *same* immutable block object (that is
+    the whole point of the cache); any mutation near it rebuilds."""
+    index = make_index(kind, RANGE)
+    index.insert(0, (10.0, 10.0))
+    index.insert(1, (50.0, 50.0))
+    q = (10.0, 10.0)
+    block = index.candidates_with_positions(q)
+    assert index.candidates_with_positions(q) is block  # cache hit
+    # every mutation kind invalidates: insert, move, set_enabled, remove
+    index.insert(2, (20.0, 20.0))
+    b2 = index.candidates_with_positions(q)
+    assert b2 is not block and 2 in b2.ids
+    index.move(2, (25.0, 25.0))  # same cell, new coordinates
+    b3 = index.candidates_with_positions(q)
+    assert b3 is not b2
+    assert b3.pts[list(b3.ids).index(2)] == (25.0, 25.0)
+    index.set_enabled(1, False)
+    b4 = index.candidates_with_positions(q)
+    assert b4 is not b3 and 1 not in b4.ids
+    index.remove(2)
+    b5 = index.candidates_with_positions(q)
+    assert b5 is not b4 and 2 not in b5.ids
+
+
+def test_grid_mutation_far_away_keeps_cached_block():
+    """Precise invalidation: a change many cells away must not evict an
+    unrelated cached block (that is what makes the cache worth having)."""
+    grid = SpatialHashGrid(RANGE)
+    grid.insert(0, (10.0, 10.0))
+    grid.insert(1, (2000.0, 2000.0))
+    near = grid.candidates_with_positions((10.0, 10.0))
+    # mutations in a far-away block footprint: cached block survives
+    grid.insert(2, (2050.0, 2050.0))
+    grid.move(1, (2100.0, 2100.0))
+    grid.set_enabled(2, False)
+    grid.remove(1)
+    assert grid.candidates_with_positions((10.0, 10.0)) is near
+    # a mutation adjacent to the near block evicts it
+    grid.insert(3, (110.0, 10.0))
+    fresh = grid.candidates_with_positions((10.0, 10.0))
+    assert fresh is not near and 3 in fresh.ids
+
+
+@pytest.mark.parametrize("kind", INDEX_KINDS)
+def test_randomized_churn_blocks_match_brute_force(kind):
+    """The cached-block view obeys the same superset/ordering/position
+    contract through interleaved insert/move/remove/toggle."""
+    index = make_index(kind, RANGE)
+    rng = SimRNG(123, "test/block-churn")
+    positions: dict[int, tuple[float, float]] = {}
+    enabled: dict[int, bool] = {}
+    next_id = 0
+    for _ in range(300):
+        op = rng.random()
+        if op < 0.4 or not positions:
+            pos = (rng.uniform(0, 600), rng.uniform(0, 600))
+            positions[next_id] = pos
+            enabled[next_id] = True
+            index.insert(next_id, pos)
+            next_id += 1
+        elif op < 0.6:
+            lid = rng.choice(sorted(positions))
+            pos = (rng.uniform(0, 600), rng.uniform(0, 600))
+            positions[lid] = pos
+            index.move(lid, pos)
+        elif op < 0.8:
+            lid = rng.choice(sorted(positions))
+            enabled[lid] = not enabled[lid]
+            index.set_enabled(lid, enabled[lid])
+        else:
+            lid = rng.choice(sorted(positions))
+            del positions[lid], enabled[lid]
+            index.remove(lid)
+        query = (rng.uniform(0, 600), rng.uniform(0, 600))
+        block = index.candidates_with_positions(query)
+        assert list(block.ids) == sorted(block.ids)
+        live = {lid: p for lid, p in positions.items() if enabled[lid]}
+        assert brute_force(live, query, RANGE) <= set(block.ids)
+        for cand, pt in zip(block.ids, block.pts):
+            assert enabled[cand] and pt == positions[cand]

@@ -238,3 +238,85 @@ def test_events_scheduled_during_run_execute():
     sim.run()
     assert fired == [0, 1, 2, 3]
     assert sim.now == 4.0
+
+
+def test_schedule_batch_fires_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule_batch([3.0, 1.0, 2.0], fired.append, [("c",), ("a",), ("b",)])
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_schedule_batch_is_fifo_identical_to_sequential_schedules():
+    """Batch entries must interleave with normal schedules exactly as if
+    they had been pushed by individual schedule() calls (seq order)."""
+
+    def run(batch: bool):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "pre")
+        if batch:
+            sim.schedule_batch(
+                [1.0, 1.0, 2.0], fired.append, [("b0",), ("b1",), ("b2",)]
+            )
+        else:
+            for delay, tag in [(1.0, "b0"), (1.0, "b1"), (2.0, "b2")]:
+                sim.schedule(delay, fired.append, tag)
+        sim.schedule(1.0, fired.append, "post")
+        sim.run()
+        return fired, sim.events_executed
+
+    assert run(True) == run(False)
+
+
+def test_schedule_batch_respects_priority():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "normal")
+    sim.schedule_batch([1.0], fired.append, [("urgent",)], priority=-1)
+    sim.run()
+    assert fired == ["urgent", "normal"]
+
+
+def test_schedule_batch_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([1.0, -0.5], lambda: None, [(), ()])
+
+
+def test_schedule_batch_empty_is_noop():
+    sim = Simulator()
+    sim.schedule_batch([], lambda: None, [])
+    assert sim.events_pending == 0
+    sim.run()
+    assert sim.events_executed == 0
+
+
+def test_schedule_batch_survives_heap_compaction():
+    """drain_cancelled must keep batch entries (they cannot be cancelled)."""
+    sim = Simulator()
+    fired = []
+    handles = [sim.schedule(5.0, fired.append, "cancelled") for _ in range(6)]
+    sim.schedule_batch([1.0, 2.0], fired.append, [("b0",), ("b1",)])
+    for h in handles:
+        h.cancel()
+    assert sim.drain_cancelled() == 6
+    assert sim.events_pending == 2
+    sim.run()
+    assert fired == ["b0", "b1"]
+
+
+def test_schedule_batch_invalid_delay_schedules_nothing():
+    """A bad delay anywhere in the batch must leave the heap untouched:
+    batch entries cannot be cancelled, so a partial push would be
+    unrecoverable."""
+    sim = Simulator()
+    fired = []
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([1.0, -0.5, 2.0], fired.append, [("a",), ("b",), ("c",)])
+    assert sim.events_pending == 0
+    # seq was not consumed either: FIFO order with a later schedule is clean
+    sim.schedule(1.0, fired.append, "only")
+    sim.run()
+    assert fired == ["only"]

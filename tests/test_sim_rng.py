@@ -147,3 +147,26 @@ def test_spawn_seed_streams_independent_but_reproducible():
     draws_b = [SimRNG(spawn_seed(11, 1)).random() for _ in range(5)]
     assert draws_a != draws_b
     assert draws_a == [SimRNG(spawn_seed(11, 0)).random() for _ in range(5)]
+
+
+def test_random_batch_is_stream_identical_to_scalar_draws():
+    """The vectorised-broadcast contract: a batched draw consumes the
+    PCG64 stream exactly like the same number of scalar draws."""
+    scalar, batched = SimRNG(13, "loss"), SimRNG(13, "loss")
+    assert scalar.random_batch(0).size == 0  # zero-size draw consumes nothing
+    expected = [scalar.random() for _ in range(100)]
+    got = []
+    for size in (3, 0, 17, 1, 50, 29):  # mixed batch sizes, zero included
+        got.extend(float(x) for x in batched.random_batch(size))
+    assert got == expected
+    # ... and switching back to scalar continues the same stream
+    assert batched.random() == scalar.random()
+
+
+def test_random_batch_shape_bounds_and_validation():
+    rng = SimRNG(4, "b")
+    arr = rng.random_batch(1000)
+    assert arr.shape == (1000,) and arr.dtype == np.float64
+    assert (arr >= 0.0).all() and (arr < 1.0).all()
+    with pytest.raises(ValueError):
+        rng.random_batch(-1)
