@@ -63,7 +63,19 @@ class FlowStats:
 
 
 class MetricsCollector:
-    """Scenario-wide event sink.  See module docstring for the families."""
+    """Scenario-wide event sink.  See module docstring for the families.
+
+    ``encode_calls`` is delta-tracked from the *process-wide*
+    ``encode_call_count()`` counter, so it is only attributable to this
+    collector while at most one scenario is live per process at a time
+    and the collector's window is closed (:meth:`freeze`, or simply
+    discarding it) before the next run starts.  That is how the campaign
+    executes (workers run scenarios strictly sequentially and ship only
+    the frozen ``summary()`` dict across the process boundary, see
+    :mod:`repro.campaign.runner`); code that keeps an earlier run's
+    collector live through a later run, or interleaves two live
+    scenarios in one process, will see encodes cross-attributed.
+    """
 
     def __init__(self):
         # message-type name -> counters
@@ -114,6 +126,21 @@ class MetricsCollector:
             encode_call_count() - self._encode_calls_base
             + self._encode_calls_merged
         )
+
+    def freeze(self) -> None:
+        """Close this collector's encode window at "now".  Idempotent.
+
+        A live collector's ``encode_calls`` window extends to the moment
+        it is read, so a collector kept alive past its own run absorbs
+        every later run's encodes in the same process.  Call ``freeze()``
+        at the end of a run whenever collectors from *sequential*
+        same-process runs will later be read or merged together.  The
+        campaign runner freezes at its run boundary before reading
+        ``summary()`` (campaign workers are reused across runs).
+        """
+        if self._encode_calls_base is not None:
+            self._encode_calls_merged = self.encode_calls
+            self._encode_calls_base = None
 
     # -- message accounting ------------------------------------------------
     def on_send(self, msg_name: str, size: int) -> None:
@@ -278,6 +305,14 @@ class MetricsCollector:
         across runs; ``dad_rounds`` sums on collision and ``dad_time``
         keeps the worst (max) time, so the merged view stays a
         conservative aggregate rather than silently overwriting.
+
+        ``encode_calls`` sums each child's reading at merge time, so
+        children that ran sequentially in *one* process must have been
+        :meth:`freeze`-d at their own run boundaries -- a still-live
+        earlier child's window covers the later runs too, double-counting
+        their encodes in the sum.  (The campaign never merges live
+        collectors: workers ship frozen ``summary()`` dicts, and the
+        aggregator combines those.)
         """
         merged = cls()
         for coll in collectors:

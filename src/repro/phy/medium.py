@@ -168,7 +168,7 @@ class WirelessMedium:
         self._promiscuous_sorted: tuple[int, ...] = ()
         self._next_link_id = 0
         self._rng = sim.rng("phy/loss")
-        #: Vectorised-path memo: sender link id -> (block, rx_ids, dists).
+        #: Vectorised-path memo: sender link id -> (block, dists, rx ids).
         #: Valid exactly while the index still serves the *same*
         #: CandidateBlock object for the sender's cell -- blocks are
         #: immutable and replaced wholesale on any insert/remove/move/
@@ -206,6 +206,11 @@ class WirelessMedium:
         if self._radios.pop(link_id, None) is not None:
             self._index.remove(link_id)
             self._range_cache.pop(link_id, None)
+            # A departed snoop must not haunt every future unicast: a
+            # stale id left in the sorted snapshot would defeat the
+            # empty-set fast path forever.
+            if link_id in self._promiscuous:
+                self.set_promiscuous(link_id, False)
 
     def has_link(self, link_id: int) -> bool:
         """True while ``link_id`` is attached (mobility models poll this)."""
@@ -337,8 +342,8 @@ class WirelessMedium:
         if cached is None or cached[0] is not block:
             cached = self._compute_range(src, sender, block)
             self._range_cache[src] = cached
-        _, rx_ids, rx_dists, rx_id_list = cached
-        count = rx_ids.size
+        _, rx_dists, rx_id_list = cached
+        count = len(rx_id_list)
         if count == 0:
             return 0
         # One batched draw per in-range receiver, ascending id -- the same
@@ -374,13 +379,12 @@ class WirelessMedium:
     def _compute_range(self, src: int, sender: RadioHandle, block) -> tuple:
         """Distances from ``src`` to every in-range candidate in ``block``.
 
-        Returns ``(block, rx_ids, rx_dists, rx_id_list)`` with receivers
-        in ascending link-id order; cached per sender until the index
+        Returns ``(block, rx_dists, rx_id_list)`` with receivers in
+        ascending link-id order; cached per sender until the index
         replaces the block (see ``_range_cache``).
         """
         if not block.ids:
-            empty = np.empty(0, dtype=np.float64)
-            return (block, np.empty(0, dtype=np.int64), empty, [])
+            return (block, np.empty(0, dtype=np.float64), [])
         sx, sy = sender.position
         dx = block.pos_arr[:, 0] - sx
         dy = block.pos_arr[:, 1] - sy
@@ -396,9 +400,8 @@ class WirelessMedium:
         i = bisect_left(block.ids, src)
         if i < len(block.ids) and block.ids[i] == src:
             in_range[i] = False
-        rx_ids = block.id_arr[in_range]
         rx_dists = dists[in_range]
-        return (block, rx_ids, rx_dists, rx_ids.tolist())
+        return (block, rx_dists, block.id_arr[in_range].tolist())
 
     def unicast(
         self,

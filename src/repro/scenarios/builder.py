@@ -306,21 +306,26 @@ class ScenarioBuilder:
         self._loss_rate = loss_rate
         return self
 
-    def medium(self, index: str = "grid", vectorized: bool = True) -> "ScenarioBuilder":
+    def medium(
+        self, index: str | None = None, vectorized: bool | None = None
+    ) -> "ScenarioBuilder":
         """Medium knobs: neighbor index (``"grid"`` spatial hash, the
         default, or ``"naive"`` full scan) and the broadcast pipeline
-        (``vectorized=True``, the default numpy path, or ``False`` for
-        the scalar loop).  Results are byte-identical across all four
-        combinations; campaigns sweep ``medium_index`` /
-        ``medium_vectorized`` to regression-test that claim.  Note this
-        sets both knobs (a bare ``.medium("naive")`` resets
-        ``vectorized`` to its default)."""
-        if index not in ("grid", "naive"):
-            raise ValueError(
-                f"unknown medium index {index!r} (expected 'grid' or 'naive')"
-            )
-        self._medium_index = index
-        self._medium_vectorized = bool(vectorized)
+        (``True``, the default numpy path, or ``False`` for the scalar
+        loop).  Results are byte-identical across all four combinations;
+        campaigns sweep ``medium_index`` / ``medium_vectorized`` to
+        regression-test that claim.  ``None`` (for either knob) means
+        "leave unchanged", so ``.medium("naive")`` and
+        ``.medium(vectorized=False)`` compose in any order without
+        clobbering each other."""
+        if index is not None:
+            if index not in ("grid", "naive"):
+                raise ValueError(
+                    f"unknown medium index {index!r} (expected 'grid' or 'naive')"
+                )
+            self._medium_index = index
+        if vectorized is not None:
+            self._medium_vectorized = bool(vectorized)
         return self
 
     # -- protocol ----------------------------------------------------------------

@@ -235,11 +235,18 @@ class Simulator:
         batch push observably identical (including FIFO tie-breaking) to
         an equivalent sequence of :meth:`schedule` calls.
 
-        All delays are validated before anything is pushed: an invalid
-        batch schedules nothing (batch entries cannot be cancelled, so a
-        partial push would be unrecoverable).
+        Both sequences are materialized, length-checked, and every delay
+        validated before anything is pushed: an invalid batch schedules
+        nothing (batch entries cannot be cancelled, so a partial push
+        would be unrecoverable).
         """
         delays = delays if isinstance(delays, (list, tuple)) else list(delays)
+        args_seq = args_seq if isinstance(args_seq, (list, tuple)) else list(args_seq)
+        if len(delays) != len(args_seq):
+            raise SimulationError(
+                f"schedule_batch length mismatch: {len(delays)} delays"
+                f" vs {len(args_seq)} args"
+            )
         for delay in delays:
             if delay < 0:
                 raise SimulationError(
@@ -339,6 +346,10 @@ class Simulator:
         before = len(self._heap)
         live = [entry for entry in self._heap if not _entry_cancelled(entry)]
         heapq.heapify(live)
-        self._heap = live
+        # Mutate in place rather than rebinding: auto-compaction can fire
+        # from _on_cancel() while run() is mid-loop (a callback cancelling
+        # handles), and run() holds a local alias to this list -- rebinding
+        # would strand that alias on the stale heap.
+        self._heap[:] = live
         self._cancelled_pending = 0
         return before - len(live)

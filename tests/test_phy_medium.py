@@ -211,3 +211,23 @@ def test_detached_radio_disappears_from_neighbors():
     medium.detach(r1.link_id)
     assert medium.neighbors(r0.link_id) == []
     assert medium.broadcast(Frame(r0.link_id, BROADCAST_LINK, SRC_IP, "x", 1)) == 0
+
+
+def test_detach_forgets_promiscuous_membership():
+    """A departed snoop must not haunt the unicast path: detach() has to
+    restore the empty-set fast path, not leave a stale id in the sorted
+    snapshot forever."""
+    sim, medium = make_medium()
+    r0 = medium.attach((0, 0), lambda f: None)
+    r1 = medium.attach((50, 0), lambda f: None)
+    snoop = medium.attach((25, 0), lambda f: None)
+    medium.set_promiscuous(snoop.link_id, True)
+    medium.detach(snoop.link_id)
+    assert not medium._promiscuous
+    assert medium._promiscuous_sorted == ()
+    medium.unicast(Frame(r0.link_id, r1.link_id, SRC_IP, "pkt", 64))
+    sim.run()
+    # a detach of a non-promiscuous radio leaves the set alone
+    medium.set_promiscuous(r1.link_id, True)
+    medium.detach(r0.link_id)
+    assert medium._promiscuous_sorted == (r1.link_id,)

@@ -81,6 +81,18 @@ def test_medium_index_round_trips():
         ScenarioBuilder(seed=5).medium("octree")
 
 
+def test_medium_knobs_compose_in_either_order():
+    """Setting one medium knob must not clobber the other, whichever
+    order the calls arrive in."""
+    for builder in (
+        ScenarioBuilder(seed=5).chain(3).medium(vectorized=False).medium("naive"),
+        ScenarioBuilder(seed=5).chain(3).medium("naive").medium(vectorized=False),
+    ):
+        spec = builder.to_spec()
+        assert spec["medium_index"] == "naive"
+        assert spec["medium_vectorized"] is False
+
+
 def test_uniform_density_scales_area_with_n():
     """Same density, more nodes => bigger area, roughly constant degree."""
     small = ScenarioBuilder(seed=9).uniform_density(20, density=8.0).build()

@@ -182,6 +182,37 @@ def test_heap_auto_compacts_when_cancelled_residue_dominates():
     assert sim.events_executed == n - cancelled
 
 
+def test_auto_compaction_during_run_keeps_heap_alias_valid():
+    """Auto-compaction fired by a callback cancelling handles mid-run()
+    must not strand run()'s view of the heap: events scheduled after the
+    compaction still execute, residue accounting stays non-negative, and
+    no surviving event fires twice."""
+    from repro.sim.kernel import AUTO_COMPACT_MIN_HEAP
+
+    sim = Simulator()
+    fired = []
+    n = AUTO_COMPACT_MIN_HEAP + 200
+    cancelled = n // 2 + 2
+    handles = [sim.schedule(10.0 + i, fired.append, i) for i in range(n)]
+
+    def cancel_many():
+        for h in handles[:cancelled]:
+            h.cancel()
+        assert sim.compactions >= 1
+        sim.schedule(1.0, fired.append, "post-compaction")
+
+    sim.schedule(0.5, cancel_many)
+    sim.run()
+    assert fired == ["post-compaction"] + list(range(cancelled, n))
+    assert sim.cancelled_pending == 0
+    assert sim.events_pending == 0
+    # a second run() must find nothing left over (no duplicated entries)
+    executed = sim.events_executed
+    sim.run()
+    assert sim.events_executed == executed
+    assert fired == ["post-compaction"] + list(range(cancelled, n))
+
+
 def test_cancel_after_execution_is_not_counted_as_residue():
     sim = Simulator()
     handle = sim.schedule(1.0, lambda: None)
@@ -283,6 +314,23 @@ def test_schedule_batch_rejects_negative_delay():
     sim = Simulator()
     with pytest.raises(SimulationError):
         sim.schedule_batch([1.0, -0.5], lambda: None, [(), ()])
+
+
+def test_schedule_batch_rejects_length_mismatch():
+    """zip must not silently truncate: unequal sequences are a caller bug
+    and must schedule nothing (batch entries cannot be cancelled)."""
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule_batch([1.0, 2.0], lambda x: None, [("only-one",)])
+    assert sim.events_pending == 0
+
+    def bad_args():
+        yield ("ok",)
+        raise RuntimeError("generator blew up mid-batch")
+
+    with pytest.raises(RuntimeError):
+        sim.schedule_batch([1.0, 2.0], lambda x: None, bad_args())
+    assert sim.events_pending == 0
 
 
 def test_schedule_batch_empty_is_noop():

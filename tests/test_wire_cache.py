@@ -80,6 +80,22 @@ def test_metrics_collector_snapshots_encode_calls():
     assert merged.encode_calls == 1
 
 
+def test_freeze_prevents_sequential_run_double_count():
+    """Collectors from back-to-back runs in one process must be frozen
+    at their own run boundaries: a still-live earlier collector's window
+    extends over the later run, double-counting its encodes on merge."""
+    a = MetricsCollector()
+    NeighborSolicitation(target=TARGET, domain_name="run-a").wire_bytes()
+    a.freeze()  # run A ends here
+    a.freeze()  # idempotent
+    b = MetricsCollector()
+    NeighborSolicitation(target=TARGET, domain_name="run-b").wire_bytes()
+    b.freeze()
+    assert a.encode_calls == 1  # run B's encode is not absorbed into A
+    assert b.encode_calls == 1
+    assert MetricsCollector.merge([a, b]).encode_calls == 2
+
+
 def test_merged_collector_is_frozen():
     """A merged collector reports its children's totals at merge time
     and never accrues encodes that happen afterwards."""
