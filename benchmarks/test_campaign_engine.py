@@ -1,18 +1,42 @@
-"""Campaign engine overhead: spec expansion and sweep throughput.
+"""Campaign engine overhead: expansion, dispatch amortisation, throughput.
 
 The campaign engine's promise is that orchestration is free relative to
 the simulations it shards: expanding a few-hundred-run matrix must be
-instant, and a parallel sweep must not lose runs or determinism.  The
-benchmark times matrix expansion; the assertions pin the engine's
-contract (full cartesian coverage, unique deterministic seeds, inline
-sweep delivering every record).
+instant, a parallel sweep must not lose runs or determinism, and -- the
+batched-dispatch claim of this suite's headline experiment -- a sweep of
+many *small* runs must not drown in per-task pool/pickle overhead.  The
+many-small-runs benchmark pins the simulation body to a trivial stub so
+the measurement isolates pure engine dispatch cost, then requires
+batched dispatch (32 runs per worker task, the auto-tuner's pick) to
+beat the PR-1 one-task-per-run strategy by >= 1.5x with byte-identical
+records.  The
+measured numbers land in the ``BENCH_campaign.json`` scorecard (written
+only under ``REPRO_BENCH_WRITE=1``, like ``BENCH_phy.json``).
 """
 
 from __future__ import annotations
 
-from repro.campaign import CampaignSpec, run_campaign
+import json
+import multiprocessing
+import time
 
-from _harness import print_rows
+import pytest
+
+import repro.campaign.runner as runner_mod
+from repro.campaign import CampaignSpec, auto_batch_size, run_campaign
+
+from _harness import print_rows, write_bench_json
+
+#: The many-small-runs workload: this many near-empty runs.  Large
+#: enough that per-task dispatch overhead dwarfs the (fixed, identical
+#: on both sides) pool start-up cost, so the >= 1.5x floor holds with
+#: a wide margin on slow CI machines.
+SMALL_RUNS = 512
+#: Batch size for the batched side of the comparison -- what the
+#: auto-tuner picks for this matrix on 2 workers.
+SMALL_BATCH = 32
+REQUIRED_SPEEDUP = 1.5
+TIMING_ROUNDS = 3
 
 
 def _matrix_spec(replicates: int = 2) -> CampaignSpec:
@@ -73,3 +97,93 @@ def test_small_sweep_executes_every_run():
     ]
     print_rows("Campaign sweep (2 runs, inline)",
                ["router", "PDR", "control bytes"], rows)
+
+
+def _tiny_body(run: dict) -> dict:
+    """Near-zero simulation body: deterministic in the RunSpec alone.
+
+    Module-level so fork-started workers resolve the monkeypatched
+    ``runner._run_body`` to this; with the body pinned to ~nothing the
+    sweep's cost is pure engine dispatch overhead, which is exactly
+    what batching is supposed to amortise.
+    """
+    return {"pdr": 1.0, "seed_lane": run["seed"] % 997, "hosts": 0}
+
+
+def _small_runs_spec() -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "bench-small-runs",
+        "seed": 17,
+        "replicates": SMALL_RUNS,
+        "base": {
+            "topology": {"kind": "chain", "n": 3, "spacing": 200.0},
+            "radio": {"range": 250.0},
+            "dns": {"position": None},
+        },
+        "workload": {"kind": "cbr", "flows": 1, "interval": 1.0, "count": 2},
+        "duration": 5.0,
+        "timeout": 60.0,
+    })
+
+
+def _time_sweep(spec: CampaignSpec, batch_size: int) -> tuple[float, list[dict]]:
+    """Best-of-N wall time for the sweep at a given batch size."""
+    best, records = float("inf"), None
+    for _ in range(TIMING_ROUNDS):
+        start = time.perf_counter()
+        records = run_campaign(spec, workers=2, batch_size=batch_size)
+        best = min(best, time.perf_counter() - start)
+    return best, records
+
+
+@pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="the stub _run_body is monkeypatched into the runner module and "
+           "only fork-started workers inherit that patch; spawn/forkserver "
+           "workers would time 512 real simulations instead",
+)
+def test_batched_dispatch_amortises_many_small_runs(monkeypatch):
+    """Many tiny runs on 2 workers: 32-run batches vs one task per run.
+
+    Batching must win >= 1.5x on dispatch overhead while returning
+    byte-identical records -- batch composition is execution strategy,
+    never data.
+    """
+    monkeypatch.setattr(runner_mod, "_run_body", _tiny_body)
+    spec = _small_runs_spec()
+    # the auto-tuner picks exactly the batched configuration by default
+    assert auto_batch_size(SMALL_RUNS, 2) == SMALL_BATCH
+
+    single_s, single_records = _time_sweep(spec, batch_size=1)
+    batched_s, batched_records = _time_sweep(spec, batch_size=SMALL_BATCH)
+
+    assert [json.dumps(r, sort_keys=True) for r in single_records] == \
+           [json.dumps(r, sort_keys=True) for r in batched_records]
+    assert len(batched_records) == SMALL_RUNS
+    assert all(r["status"] == "ok" for r in batched_records)
+
+    speedup = single_s / batched_s
+    print_rows(
+        f"Batched dispatch ({SMALL_RUNS} tiny runs, 2 workers, "
+        f"best of {TIMING_ROUNDS})",
+        ["batch size", "wall ms", "speedup"],
+        [
+            [1, f"{single_s * 1e3:.1f}", "1.00x"],
+            [SMALL_BATCH, f"{batched_s * 1e3:.1f}", f"{speedup:.2f}x"],
+        ],
+    )
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched dispatch only {speedup:.2f}x faster than one-task-per-run "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )
+    write_bench_json("campaign", {
+        "batched_dispatch": {
+            "runs": SMALL_RUNS,
+            "workers": 2,
+            "batch_size": SMALL_BATCH,
+            "single_ms": round(single_s * 1e3, 3),
+            "batched_ms": round(batched_s * 1e3, 3),
+            "speedup": round(speedup, 2),
+            "records_byte_identical": True,
+        },
+    })

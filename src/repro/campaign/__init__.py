@@ -6,31 +6,56 @@ first-class artifact:
 
 * :class:`~repro.campaign.spec.CampaignSpec` declares sweeps (cartesian
   axes + random samples over :class:`~repro.scenarios.ScenarioBuilder`
-  knobs, replicate counts, workloads, adversary mixes);
-* :func:`~repro.campaign.runner.run_campaign` executes the expanded run
-  matrix across a multiprocessing pool with per-run deterministic seeds
-  (:func:`repro.sim.rng.spawn_seed`) and timeout/failure isolation;
+  knobs, replicate counts, workloads, adversary mixes, batch size);
+* :class:`~repro.campaign.runner.CampaignRunner` (and the
+  :func:`~repro.campaign.runner.run_campaign` wrapper) executes the
+  expanded run matrix across a multiprocessing pool -- batching runs
+  per worker task to amortise dispatch overhead, streaming completed
+  records to ``results.jsonl`` as they arrive, and resuming an
+  interrupted campaign from that checkpoint -- with per-run
+  deterministic seeds (:func:`repro.sim.rng.spawn_seed`) and
+  timeout/failure isolation.  Worker count, batch size, and resume
+  interruption points never change results;
 * :mod:`~repro.campaign.aggregate` persists per-run summaries as JSONL
-  and reduces them to a grouped report;
+  (with a recovery parser for in-flight/crashed files) and reduces
+  them to a grouped report;
 * :mod:`~repro.campaign.baseline` diffs two result sets to catch
   PDR/latency regressions across PRs;
-* ``python -m repro.campaign run|report|compare`` drives it all from
-  the shell.
+* ``python -m repro.campaign run|resume|report|compare`` drives it all
+  from the shell.
 """
 
-from repro.campaign.aggregate import aggregate, load_results, report_text, write_jsonl
+from repro.campaign.aggregate import (
+    aggregate,
+    load_results,
+    load_results_partial,
+    read_jsonl_partial,
+    report_text,
+    write_jsonl,
+)
 from repro.campaign.baseline import compare, comparison_text
-from repro.campaign.runner import execute_run, run_campaign
+from repro.campaign.runner import (
+    CampaignRunner,
+    auto_batch_size,
+    execute_batch,
+    execute_run,
+    run_campaign,
+)
 from repro.campaign.spec import CampaignSpec, RunSpec
 
 __all__ = [
+    "CampaignRunner",
     "CampaignSpec",
     "RunSpec",
     "aggregate",
+    "auto_batch_size",
     "compare",
     "comparison_text",
+    "execute_batch",
     "execute_run",
     "load_results",
+    "load_results_partial",
+    "read_jsonl_partial",
     "report_text",
     "run_campaign",
     "write_jsonl",

@@ -25,11 +25,19 @@ TABLE_METRICS = [
 ]
 
 
-def write_jsonl(path, records: list[dict]) -> None:
-    """One sorted-key JSON object per line; byte-stable for diffing."""
+def write_jsonl(path, records: list[dict], fsync: bool = False) -> None:
+    """One sorted-key JSON object per line; byte-stable for diffing.
+
+    ``fsync=True`` forces the lines to disk before returning, for
+    writers (the streaming runner's finalize step) that must survive a
+    crash immediately after.
+    """
     with open(path, "w", encoding="utf-8") as fh:
         for record in records:
             fh.write(json.dumps(record, sort_keys=True) + "\n")
+        if fsync:
+            fh.flush()
+            os.fsync(fh.fileno())
 
 
 def read_jsonl(path) -> list[dict]:
@@ -42,11 +50,60 @@ def read_jsonl(path) -> list[dict]:
     return records
 
 
+def read_jsonl_partial(path) -> tuple[list[dict], list[str]]:
+    """Recovery parser for an in-flight or crash-interrupted results file.
+
+    The streaming runner appends one fsync'd line per record, so the
+    only damage a crash can inflict is a *torn final line* (the write
+    that was in flight).  That tail is discarded and reported in the
+    returned warnings; the complete records before it are kept.
+    Malformed content anywhere *other* than the final line means the
+    file was not produced by the append-only writer and raises
+    ``ValueError`` rather than silently dropping data.
+
+    Returns ``(records, warnings)``.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.read().splitlines()
+    records: list[dict] = []
+    warnings: list[str] = []
+    for lineno, line in enumerate(lines, 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            record = json.loads(stripped)
+            if not isinstance(record, dict):
+                raise ValueError("not a JSON object")
+        except ValueError as exc:
+            if lineno == len(lines):
+                warnings.append(
+                    f"{path}: discarded torn final line {lineno} "
+                    f"(crash mid-write: {exc})"
+                )
+                break
+            raise ValueError(f"{path}: corrupt line {lineno}: {exc}") from exc
+        records.append(record)
+    return records, warnings
+
+
 def load_results(path) -> list[dict]:
     """Load records from a results file or a campaign output directory."""
     if os.path.isdir(path):
         path = os.path.join(path, "results.jsonl")
     return read_jsonl(path)
+
+
+def load_results_partial(path) -> tuple[list[dict], list[str]]:
+    """Tolerant :func:`load_results`: accepts an in-flight campaign.
+
+    Used by ``report`` on a streaming/interrupted campaign and by
+    ``resume``; returns ``(records, warnings)`` where warnings describe
+    any torn tail that was discarded.
+    """
+    if os.path.isdir(path):
+        path = os.path.join(path, "results.jsonl")
+    return read_jsonl_partial(path)
 
 
 def group_key(record: dict) -> str:

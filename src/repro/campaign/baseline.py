@@ -9,6 +9,15 @@ deterministic and sorted, comparison is a run_id-aligned walk flagging:
 * latency-p95 growth beyond a relative tolerance,
 * runs added to / removed from the matrix (spec drift -- reported, not
   treated as a regression).
+
+Because the runner streams and resumes campaigns, a ``current`` record
+list may come from an in-flight sweep (via
+:func:`~repro.campaign.aggregate.load_results_partial`); its missing
+runs then show up as ``removed`` -- visible in the comparison text, and
+fatal under the CLI's ``--strict`` gate -- rather than crashing the
+walk.  Finalized outputs are byte-identical regardless of worker count,
+batch size, or resume history, so comparisons never need to care how a
+results file was produced.
 """
 
 from __future__ import annotations

@@ -1,12 +1,21 @@
-"""``python -m repro.campaign`` -- run, report and compare sweeps.
+"""``python -m repro.campaign`` -- run, resume, report and compare sweeps.
 
 Subcommands
 -----------
-run      Execute a campaign spec (JSON) across a worker pool and write
-         ``results.jsonl`` + aggregate reports to the output directory.
+run      Execute a campaign spec (JSON) across a worker pool, streaming
+         records to ``results.jsonl`` as they complete, and write the
+         aggregate reports to the output directory.  ``--batch-size``
+         groups runs per worker task (default: auto-tuned);
          ``--baseline`` additionally gates on a previous results file
          and exits non-zero on regression.
+resume   Finish an interrupted campaign: skip the run indices already
+         checkpointed in the output directory's ``results.jsonl``
+         (discarding a torn final line from a crash mid-write), execute
+         the rest, and finalize output byte-identical to an
+         uninterrupted ``run``.
 report   Re-render the aggregate table from a results file/directory.
+         Works on an in-flight or interrupted campaign: partial results
+         aggregate normally and a torn tail is skipped with a warning.
 compare  Diff two results files; exit 1 when regressions are found.
 
 Exit codes: 0 ok; 1 regression detected; 3 one or more runs failed.
@@ -18,21 +27,19 @@ import argparse
 import json
 import sys
 
-from repro.campaign.aggregate import aggregate, load_results, report_text
+from repro.campaign.aggregate import (
+    aggregate,
+    load_results,
+    load_results_partial,
+    report_text,
+)
 from repro.campaign.baseline import compare, comparison_text
-from repro.campaign.runner import run_campaign
+from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import CampaignSpec
 
 
-def _cmd_run(args) -> int:
-    spec = CampaignSpec.from_file(args.spec)
-    out_dir = args.out or f"campaigns/{spec.name}"
-    records = run_campaign(
-        spec,
-        workers=args.workers,
-        out_dir=out_dir,
-        echo=None if args.quiet else print,
-    )
+def _report_and_gate(records: list[dict], args) -> int:
+    """Shared run/resume epilogue: print the aggregate, apply the gate."""
     report = aggregate(records)
     print()
     print(report_text(report))
@@ -54,8 +61,30 @@ def _cmd_run(args) -> int:
     return exit_code
 
 
+def _make_runner(args) -> CampaignRunner:
+    spec = CampaignSpec.from_file(args.spec)
+    return CampaignRunner(
+        spec,
+        workers=args.workers,
+        batch_size=args.batch_size,
+        out_dir=args.out or f"campaigns/{spec.name}",
+        echo=None if args.quiet else print,
+        progress=args.progress,
+    )
+
+
+def _cmd_run(args) -> int:
+    return _report_and_gate(_make_runner(args).run(), args)
+
+
+def _cmd_resume(args) -> int:
+    return _report_and_gate(_make_runner(args).resume(), args)
+
+
 def _cmd_report(args) -> int:
-    records = load_results(args.results)
+    records, warnings = load_results_partial(args.results)
+    for warning in warnings:
+        print(f"warning: {warning}", file=sys.stderr)
     report = aggregate(records)
     if args.json:
         json.dump(report, sys.stdout, indent=2, sort_keys=True)
@@ -97,18 +126,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="execute a campaign spec")
-    p_run.add_argument("spec", help="path to a campaign spec JSON file")
-    p_run.add_argument("--workers", type=int, default=2,
+    def _add_execution_args(p) -> None:
+        p.add_argument("spec", help="path to a campaign spec JSON file")
+        p.add_argument("--workers", type=int, default=2,
                        help="worker processes (<=1 runs inline; default 2)")
-    p_run.add_argument("--out", default=None,
+        p.add_argument("--batch-size", type=int, default=None,
+                       help="runs grouped per worker task (default: the "
+                            "spec's batch_size, else auto-tuned from the "
+                            "matrix size and worker count; never changes "
+                            "results)")
+        p.add_argument("--out", default=None,
                        help="output directory (default campaigns/<name>)")
-    p_run.add_argument("--baseline", default=None,
+        p.add_argument("--baseline", default=None,
                        help="previous results.jsonl to gate against")
-    p_run.add_argument("--pdr-tol", type=float, default=0.02)
-    p_run.add_argument("--latency-tol", type=float, default=0.25)
-    p_run.add_argument("--quiet", action="store_true")
+        p.add_argument("--pdr-tol", type=float, default=0.02)
+        p.add_argument("--latency-tol", type=float, default=0.25)
+        p.add_argument("--quiet", action="store_true")
+        p.add_argument("--progress", action="store_true",
+                       help="print a progress ticker to stderr as "
+                            "batches complete")
+
+    p_run = sub.add_parser("run", help="execute a campaign spec")
+    _add_execution_args(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="finish an interrupted campaign from its results.jsonl "
+             "checkpoint (byte-identical to an uninterrupted run)")
+    _add_execution_args(p_resume)
+    p_resume.set_defaults(func=_cmd_resume)
 
     p_report = sub.add_parser("report", help="render the aggregate table")
     p_report.add_argument("results", help="results.jsonl or campaign directory")

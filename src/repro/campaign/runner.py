@@ -1,32 +1,48 @@
-"""Campaign execution: a run matrix over a multiprocessing worker pool.
+"""Campaign execution: batched, streaming, resumable run-matrix sweeps.
 
 Each run is executed by :func:`execute_run`, a module-level function so
 it pickles cleanly into worker processes.  A run builds its scenario
 from the serialized spec, wires adversaries, bootstraps, drives the
 workload, and returns the run's :meth:`MetricsCollector.summary` as a
-flat record.
+flat record.  :func:`execute_batch` groups several runs into one worker
+task so sweeps of many *small* runs amortise pool/pickle overhead; the
+batch size is auto-tuned by :func:`auto_batch_size` and overridable via
+``CampaignSpec.batch_size`` / ``--batch-size``.
+
+:class:`CampaignRunner` orchestrates the sweep: it streams completed
+records to ``results.jsonl`` as they arrive (append + fsync, one JSON
+object per line), so a long campaign can be ``report``-ed mid-flight
+and a crash loses at most the line being written.  ``resume()`` (and
+the ``campaign resume`` CLI verb) reads that checkpoint back, discards
+a torn tail, re-runs only the missing indices, and finalizes output
+byte-identical to an uninterrupted campaign.
 
 Isolation guarantees:
 
 * **Determinism** -- a run's record depends only on its :class:`RunSpec`
   (which embeds a :func:`~repro.sim.rng.spawn_seed`-derived seed), so
-  worker count and scheduling order never change results; the runner
-  additionally sorts records by run index before persisting.
+  worker count, batch size, scheduling order, and resume interruption
+  points never change results; the runner additionally sorts records by
+  run index before finalizing.
 * **Failure isolation** -- an exception inside one run produces an
-  ``"error"`` record; the rest of the matrix still completes.
-* **Timeout isolation** -- each run arms a wall-clock deadline
-  (``SIGALRM``); a runaway run yields a ``"timeout"`` record instead of
-  wedging the campaign.
+  ``"error"`` record; the rest of the matrix (including the failing
+  run's batchmates) still completes.
+* **Timeout isolation** -- each run arms its *own* wall-clock deadline
+  (``SIGALRM``), re-armed per run inside a batch, so a runaway run
+  yields a ``"timeout"`` record without eating its batchmates' budget.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
 import json
+import math
 import multiprocessing
 import os
 import signal
+import sys
 import threading
+import time
 from contextlib import contextmanager
 
 from repro.campaign.spec import CampaignSpec
@@ -71,6 +87,12 @@ def deadline(seconds: float | None):
     No-op when ``seconds`` is falsy, on platforms without ``SIGALRM``,
     or off the main thread (``signal`` only works there); the
     simulation itself is still bounded by virtual time in those cases.
+
+    Batch-safe: each entry arms a *fresh* timer and, on exit, restores
+    the previous handler and whatever remained of an enclosing deadline
+    (minus the time this block consumed).  Consecutive runs in a batch
+    therefore each get their full budget, and a pending alarm can never
+    leak out of the block that armed it.
     """
     usable = (
         seconds is not None
@@ -86,12 +108,25 @@ def deadline(seconds: float | None):
         raise RunTimeout(f"run exceeded {seconds:g}s wall-clock budget")
 
     previous = signal.signal(signal.SIGALRM, _raise)
-    signal.setitimer(signal.ITIMER_REAL, float(seconds))
+    started = time.monotonic()
+    outer_delay, outer_interval = signal.setitimer(
+        signal.ITIMER_REAL, float(seconds)
+    )
     try:
         yield
     finally:
         signal.setitimer(signal.ITIMER_REAL, 0.0)
         signal.signal(signal.SIGALRM, previous)
+        if outer_delay:
+            # Re-arm the enclosing deadline with its remaining budget;
+            # if this block already overran it, fire ~immediately so
+            # the outer scope still observes its timeout.
+            elapsed = time.monotonic() - started
+            signal.setitimer(
+                signal.ITIMER_REAL,
+                max(outer_delay - elapsed, 1e-6),
+                outer_interval,
+            )
 
 
 def _add_adversary(scenario, spec: dict) -> None:
@@ -229,55 +264,243 @@ def execute_run(run: dict) -> dict:
     return record
 
 
-def run_campaign(
-    spec: CampaignSpec,
-    workers: int = 2,
-    out_dir=None,
-    echo=None,
-) -> list[dict]:
-    """Execute every run of ``spec`` and return sorted records.
+def execute_batch(runs: list[dict]) -> list[dict]:
+    """Execute a batch of serialized :class:`RunSpec`\\ s; never raises.
+
+    Batching amortises pool/pickle dispatch overhead for sweeps of many
+    small runs.  Isolation stays *per run*: each run re-arms its own
+    wall-clock deadline inside :func:`execute_run` (a slow run cannot
+    eat its batchmates' budget) and failures are recorded per run, so a
+    batch always returns one record per input run.
+    """
+    return [execute_run(run) for run in runs]
+
+
+#: Auto-tuned batches never exceed this many runs, so even enormous
+#: matrices keep streaming records out at a reasonable cadence.
+MAX_AUTO_BATCH = 32
+
+#: Target batches-per-worker for the auto-tuner; oversubscription lets
+#: fast workers absorb slow batches instead of idling at the tail.
+_OVERSUBSCRIPTION = 4
+
+
+def auto_batch_size(n_runs: int, workers: int) -> int:
+    """Default batch size for ``n_runs`` across ``workers`` processes.
+
+    Aims for ~``_OVERSUBSCRIPTION`` batches per worker (load balance)
+    while capping at :data:`MAX_AUTO_BATCH` (streaming cadence).  Small
+    matrices get batch size 1 -- batching only pays when per-task
+    dispatch overhead rivals the runs themselves.  Execution-only:
+    batch composition never affects results.
+    """
+    workers = max(1, int(workers))
+    if n_runs <= 0:
+        return 1
+    return max(1, min(MAX_AUTO_BATCH,
+                      math.ceil(n_runs / (workers * _OVERSUBSCRIPTION))))
+
+
+def _worker_death_record(payload: dict, exc: Exception) -> dict:
+    return {
+        "run_id": payload["run_id"],
+        "index": payload["index"],
+        "replicate": payload["replicate"],
+        "seed": payload["seed"],
+        "params": payload["params"],
+        "status": "error",
+        "error": f"worker died: {type(exc).__name__}: {exc}",
+    }
+
+
+class CampaignRunner:
+    """Batched, streaming, resumable executor for a :class:`CampaignSpec`.
+
+    ``run()`` executes the full matrix; ``resume()`` picks up an
+    interrupted campaign from its ``results.jsonl`` checkpoint.  Both
+    stream records to disk as they arrive and finalize identical
+    artifacts, so the determinism contract is: *worker count, batch
+    size, and resume interruption points never change results* --
+    ``results.jsonl``, ``report.json`` and ``report.txt`` are
+    byte-identical however the campaign was executed.
 
     ``workers <= 1`` runs inline (easier debugging, identical results).
-    When ``out_dir`` is given, writes ``results.jsonl`` (one sorted,
-    deterministic record per run), ``report.json``/``report.txt``
-    (aggregates), and ``spec.json`` (the expanded campaign spec, for
-    provenance).
+    ``batch_size=None`` defers to ``spec.batch_size``, and ``None``
+    there auto-tunes via :func:`auto_batch_size`.  ``progress=True``
+    prints a ticker line to stderr as batches land.
     """
-    from repro.campaign.aggregate import aggregate, report_text, write_jsonl
 
-    runs = spec.expand()
-    payloads = [r.to_dict() for r in runs]
-    say = echo or (lambda _msg: None)
-    say(f"campaign {spec.name!r}: {len(runs)} runs on {max(1, workers)} worker(s)")
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        workers: int = 2,
+        batch_size: int | None = None,
+        out_dir=None,
+        echo=None,
+        progress: bool = False,
+    ):
+        self.spec = spec
+        self.workers = max(1, int(workers))
+        if batch_size is None:
+            batch_size = spec.batch_size
+        if batch_size is not None and int(batch_size) < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = None if batch_size is None else int(batch_size)
+        self.out_dir = None if out_dir is None else os.fspath(out_dir)
+        self.progress = bool(progress)
+        self._say = echo or (lambda _msg: None)
+        self._counts = {"ok": 0, "failed": 0}
+        self._total = 0
 
-    if workers <= 1:
-        records = []
-        for payload in payloads:
-            records.append(execute_run(payload))
-            say(f"  [{len(records)}/{len(runs)}] {records[-1]['run_id']} "
-                f"{records[-1]['status']}")
-    else:
+    # -- public entry points --------------------------------------------
+    def run(self) -> list[dict]:
+        """Execute every run of the matrix; returns sorted records."""
+        payloads = [r.to_dict() for r in self.spec.expand()]
+        batch = self.batch_size or auto_batch_size(len(payloads), self.workers)
+        self._say(
+            f"campaign {self.spec.name!r}: {len(payloads)} runs on "
+            f"{self.workers} worker(s), batch size {batch}"
+        )
+        return self._execute(payloads, existing=[], batch=batch)
+
+    def resume(self) -> list[dict]:
+        """Finish an interrupted campaign from its on-disk checkpoint.
+
+        Reads ``results.jsonl`` with the recovery parser (a torn final
+        line from a crash mid-write is discarded with a warning and its
+        run re-executed), validates every checkpoint record against the
+        expanded spec (records whose run_id/seed/params drifted are
+        discarded and re-run), then executes only the missing indices.
+        The finalized output is byte-identical to an uninterrupted
+        campaign -- including when there is nothing left to run.
+        """
+        if self.out_dir is None:
+            raise ValueError("resume() requires an output directory")
+        self._check_spec_provenance()
+        payloads = [r.to_dict() for r in self.spec.expand()]
+        results_path = os.path.join(self.out_dir, "results.jsonl")
+        kept = self._load_checkpoint(results_path, payloads)
+        pending = [p for p in payloads if p["index"] not in kept]
+        batch = self.batch_size or auto_batch_size(len(pending), self.workers)
+        self._say(
+            f"campaign {self.spec.name!r}: resuming -- {len(kept)} of "
+            f"{len(payloads)} runs checkpointed, {len(pending)} left on "
+            f"{self.workers} worker(s), batch size {batch}"
+        )
+        existing = sorted(kept.values(), key=lambda r: r["index"])
+        return self._execute(pending, existing=existing, batch=batch)
+
+    # -- resume helpers -------------------------------------------------
+    @staticmethod
+    def _spec_fingerprint(data: dict) -> dict:
+        """Spec dict minus execution-only keys (they never change results)."""
+        data = dict(data)
+        data.pop("batch_size", None)
+        return data
+
+    def _check_spec_provenance(self) -> None:
+        """Refuse to resume into an output directory from a different spec."""
+        spec_path = os.path.join(self.out_dir, "spec.json")
+        if not os.path.exists(spec_path):
+            return
+        with open(spec_path, "r", encoding="utf-8") as fh:
+            saved = json.load(fh)
+        if self._spec_fingerprint(saved) != self._spec_fingerprint(self.spec.to_dict()):
+            raise ValueError(
+                f"refusing to resume: {spec_path} was written by a different "
+                "campaign spec; finishing it with this one would mix matrices"
+            )
+
+    def _load_checkpoint(self, results_path, payloads: list[dict]) -> dict[int, dict]:
+        """Validated checkpoint records keyed by run index.
+
+        Missing file -> FileNotFoundError (resume needs something to
+        resume; use ``run`` to start fresh).  Torn tails, duplicate
+        indices, and records that do not match the spec's expansion are
+        discarded with a warning -- their runs simply execute again.
+        """
+        from repro.campaign.aggregate import read_jsonl_partial
+
+        records, warnings = read_jsonl_partial(results_path)
+        expected = {p["index"]: p for p in payloads}
+        kept: dict[int, dict] = {}
+        for position, record in enumerate(records, 1):
+            index = record.get("index")
+            payload = expected.get(index)
+            if payload is None:
+                warnings.append(
+                    f"discarding checkpoint record {position}: index "
+                    f"{index!r} is not in this campaign's run matrix"
+                )
+            elif (
+                record.get("run_id") != payload["run_id"]
+                or record.get("seed") != payload["seed"]
+                or record.get("params") != payload["params"]
+            ):
+                warnings.append(
+                    f"discarding checkpoint record for index {index}: "
+                    "run_id/seed/params do not match the spec (drifted?); "
+                    "the run will be re-executed"
+                )
+            elif index in kept:
+                warnings.append(
+                    f"discarding duplicate checkpoint record for index {index}"
+                )
+            else:
+                kept[index] = record
+        for warning in warnings:
+            self._say(f"warning: {warning}")
+        return kept
+
+    # -- execution core -------------------------------------------------
+    def _execute(self, pending: list[dict], existing: list[dict],
+                 batch: int) -> list[dict]:
+        self._total = len(pending) + len(existing)
+        self._counts = {
+            "ok": sum(1 for r in existing if r["status"] == "ok"),
+            "failed": sum(1 for r in existing if r["status"] != "ok"),
+        }
+        records = list(existing)
+        stream = self._open_stream(existing)
+        try:
+            if pending:
+                chunks = [pending[i:i + batch]
+                          for i in range(0, len(pending), batch)]
+                if self.workers <= 1:
+                    for chunk in chunks:
+                        self._ingest(execute_batch(chunk), records, stream)
+                else:
+                    self._dispatch(chunks, records, stream)
+        finally:
+            if stream is not None:
+                stream.close()
+        records.sort(key=lambda r: r["index"])
+        if self.out_dir is not None:
+            self._finalize(records)
+        return records
+
+    def _dispatch(self, chunks: list[list[dict]], records: list[dict],
+                  stream) -> None:
+        """Run batches across the pool; stream results as they complete."""
         context = multiprocessing.get_context()
-        records = []
-        orphaned = []  # payloads whose worker died (pool became unusable)
+        orphaned = []  # runs whose worker died (their pool became unusable)
         with concurrent.futures.ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
+            max_workers=min(self.workers, len(chunks)), mp_context=context
         ) as pool:
-            futures = {pool.submit(execute_run, p): p for p in payloads}
+            futures = {pool.submit(execute_batch, c): c for c in chunks}
             for future in concurrent.futures.as_completed(futures):
                 try:
-                    record = future.result()
+                    batch_records = future.result()
                 except Exception:  # worker died (OOM-kill, segfault): the
                     # pool is broken and every pending future fails with it;
-                    # execute_run can't catch process death from inside
-                    orphaned.append(futures[future])
+                    # execute_batch can't catch process death from inside
+                    orphaned.extend(futures[future])
                     continue
-                records.append(record)
-                say(f"  [{len(records)}/{len(runs)}] {record['run_id']} "
-                    f"{record['status']}")
+                self._ingest(batch_records, records, stream)
         # Retry each orphan in its own fresh single-worker pool: innocent
-        # bystanders of the breakage complete normally, and the run that
-        # actually kills its worker only takes its private pool with it.
+        # batchmates and bystanders of the breakage complete normally, and
+        # the run that actually kills its worker only takes its private
+        # pool with it.
         for payload in sorted(orphaned, key=lambda p: p["index"]):
             try:
                 with concurrent.futures.ProcessPoolExecutor(
@@ -285,33 +508,105 @@ def run_campaign(
                 ) as retry_pool:
                     record = retry_pool.submit(execute_run, payload).result()
             except Exception as exc:
-                record = {
-                    "run_id": payload["run_id"],
-                    "index": payload["index"],
-                    "replicate": payload["replicate"],
-                    "seed": payload["seed"],
-                    "params": payload["params"],
-                    "status": "error",
-                    "error": f"worker died: {type(exc).__name__}: {exc}",
-                }
+                record = _worker_death_record(payload, exc)
+            self._ingest([record], records, stream, suffix=" (retried)")
+
+    def _ingest(self, batch_records: list[dict], records: list[dict],
+                stream, suffix: str = "") -> None:
+        """Append a completed batch to memory + the streaming checkpoint."""
+        for record in batch_records:
             records.append(record)
-            say(f"  [{len(records)}/{len(runs)}] {record['run_id']} "
-                f"{record['status']} (retried)")
+            self._counts["ok" if record["status"] == "ok" else "failed"] += 1
+            if stream is not None:
+                stream.write(json.dumps(record, sort_keys=True) + "\n")
+                stream.flush()
+                os.fsync(stream.fileno())
+            self._say(f"  [{len(records)}/{self._total}] {record['run_id']} "
+                      f"{record['status']}{suffix}")
+        if self.progress:
+            done = self._counts["ok"] + self._counts["failed"]
+            print(
+                f"progress: {done}/{self._total} done "
+                f"({self._counts['ok']} ok, {self._counts['failed']} failed)",
+                file=sys.stderr, flush=True,
+            )
 
-    records.sort(key=lambda r: r["index"])
+    # -- persistence ----------------------------------------------------
+    def _open_stream(self, existing: list[dict]):
+        """Open the append-only ``results.jsonl`` checkpoint stream.
 
-    if out_dir is not None:
-        os.makedirs(out_dir, exist_ok=True)
-        write_jsonl(os.path.join(out_dir, "results.jsonl"), records)
+        The checkpoint prefix (validated records from a resume; empty on
+        a fresh run) is rewritten atomically first -- temp file, fsync,
+        ``os.replace`` -- so a crash during the rewrite can't lose the
+        records a previous attempt already earned.
+        """
+        if self.out_dir is None:
+            return None
+        from repro.campaign.aggregate import write_jsonl
+
+        os.makedirs(self.out_dir, exist_ok=True)
+        self._write_spec_provenance()
+        path = os.path.join(self.out_dir, "results.jsonl")
+        tmp = path + ".tmp"
+        write_jsonl(tmp, existing, fsync=True)
+        os.replace(tmp, path)
+        return open(path, "a", encoding="utf-8")
+
+    def _write_spec_provenance(self) -> None:
+        with open(os.path.join(self.out_dir, "spec.json"), "w",
+                  encoding="utf-8") as fh:
+            json.dump(self.spec.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    def _finalize(self, records: list[dict]) -> None:
+        """Rewrite the stream sorted by run index + emit the reports.
+
+        The streamed file holds records in completion order; the final
+        artifact is sorted so it is byte-identical regardless of worker
+        count, batch size, or resume history.  Atomic replace: a crash
+        mid-finalize leaves the (complete) streamed checkpoint behind,
+        which a further ``resume`` finalizes identically.
+        """
+        from repro.campaign.aggregate import aggregate, report_text, write_jsonl
+
+        path = os.path.join(self.out_dir, "results.jsonl")
+        tmp = path + ".tmp"
+        write_jsonl(tmp, records, fsync=True)
+        os.replace(tmp, path)
         report = aggregate(records)
-        report["campaign"] = spec.name
-        with open(os.path.join(out_dir, "report.json"), "w", encoding="utf-8") as fh:
+        report["campaign"] = self.spec.name
+        with open(os.path.join(self.out_dir, "report.json"), "w",
+                  encoding="utf-8") as fh:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
-        with open(os.path.join(out_dir, "report.txt"), "w", encoding="utf-8") as fh:
+        with open(os.path.join(self.out_dir, "report.txt"), "w",
+                  encoding="utf-8") as fh:
             fh.write(report_text(report) + "\n")
-        with open(os.path.join(out_dir, "spec.json"), "w", encoding="utf-8") as fh:
-            json.dump(spec.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        say(f"wrote {os.path.join(out_dir, 'results.jsonl')}")
-    return records
+        self._say(f"wrote {path}")
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    workers: int = 2,
+    out_dir=None,
+    echo=None,
+    batch_size: int | None = None,
+    progress: bool = False,
+) -> list[dict]:
+    """Execute every run of ``spec`` and return sorted records.
+
+    Convenience wrapper over :meth:`CampaignRunner.run`; see that class
+    for the streaming/batching/resume semantics.  When ``out_dir`` is
+    given, writes ``results.jsonl`` (one sorted, deterministic record
+    per run, streamed during execution), ``report.json``/``report.txt``
+    (aggregates), and ``spec.json`` (the expanded campaign spec, for
+    provenance and resume validation).
+    """
+    return CampaignRunner(
+        spec,
+        workers=workers,
+        batch_size=batch_size,
+        out_dir=out_dir,
+        echo=echo,
+        progress=progress,
+    ).run()

@@ -47,6 +47,7 @@ _DEFAULT_BOOTSTRAP = {"stagger": 0.25}
 _KNOWN_KEYS = {
     "name", "seed", "replicates", "base", "axes", "samples",
     "workload", "adversaries", "bootstrap", "duration", "timeout",
+    "batch_size",
 }
 
 
@@ -104,6 +105,10 @@ class CampaignSpec:
     duration: float = 30.0
     #: Per-run wall-clock budget (seconds); exceeded runs report "timeout".
     timeout: float = 120.0
+    #: Runs grouped per worker task; ``None`` auto-tunes from the matrix
+    #: size and worker count (see :func:`repro.campaign.runner.auto_batch_size`).
+    #: Execution-only: never changes results, only dispatch overhead.
+    batch_size: int | None = None
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -125,9 +130,13 @@ class CampaignSpec:
             bootstrap={**_DEFAULT_BOOTSTRAP, **data.get("bootstrap", {})},
             duration=float(data.get("duration", 30.0)),
             timeout=float(data.get("timeout", 120.0)),
+            batch_size=(int(data["batch_size"])
+                        if data.get("batch_size") is not None else None),
         )
         if spec.replicates < 1:
             raise ValueError("replicates must be >= 1")
+        if spec.batch_size is not None and spec.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
         for path, values in spec.axes.items():
             if not isinstance(values, list) or not values:
                 raise ValueError(f"axis {path!r} must map to a non-empty list")
@@ -151,6 +160,7 @@ class CampaignSpec:
             "bootstrap": copy.deepcopy(self.bootstrap),
             "duration": self.duration,
             "timeout": self.timeout,
+            "batch_size": self.batch_size,
         }
 
     # -- expansion -------------------------------------------------------

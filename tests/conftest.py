@@ -32,6 +32,55 @@ def chain_scenario(n=4, seed=7, spacing=200.0, dns_pos=None, **config):
     return builder
 
 
+def streaming_campaign_dict(**overrides) -> dict:
+    """A cheap 12-run campaign for the streaming/determinism harness.
+
+    3 replicates x 2 routers x 2 workload sizes of a 3-node chain; each
+    run simulates in ~10-30 ms, so the harness can afford to execute
+    the matrix many times over (worker counts x batch sizes x resume
+    interruption points) and still byte-compare everything.
+    """
+    data = {
+        "name": "stream",
+        "seed": 11,
+        "replicates": 3,
+        "base": {
+            "topology": {"kind": "chain", "n": 3, "spacing": 200.0},
+            "radio": {"range": 250.0},
+            "dns": {"position": None},
+        },
+        "axes": {"router": ["secure", "plain"], "workload.count": [2, 3]},
+        "workload": {"kind": "cbr", "flows": 1, "interval": 1.0, "count": 2},
+        "duration": 6.0,
+        "timeout": 60.0,
+    }
+    data.update(overrides)
+    return data
+
+
+def truncate_jsonl(path, keep_lines: int, torn_bytes: int = 0) -> None:
+    """Simulate a crash: keep ``keep_lines`` records, optionally followed
+    by the first ``torn_bytes`` bytes of the next line (a torn write)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        lines = fh.readlines()
+    kept = "".join(lines[:keep_lines])
+    if torn_bytes and keep_lines < len(lines):
+        kept += lines[keep_lines][:torn_bytes]
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(kept)
+
+
+def campaign_artifacts(out_dir) -> dict[str, bytes]:
+    """The byte content of every finalized campaign artifact in a dir."""
+    import os
+
+    artifacts = {}
+    for name in ("results.jsonl", "report.json", "report.txt"):
+        with open(os.path.join(out_dir, name), "rb") as fh:
+            artifacts[name] = fh.read()
+    return artifacts
+
+
 def two_path_scenario(seed=5, **config):
     """Four honest hosts forming a short path and a detour around (200, 0).
 

@@ -1,0 +1,377 @@
+"""Determinism harness for the batched, streaming, resumable runner.
+
+The campaign engine's contract is that execution strategy is invisible:
+*worker count, batch size, and resume interruption points never change
+results*.  Per-run determinism already hangs only on the ``RunSpec``
+seed, so these tests prove the orchestration layer keeps its hands off
+-- the same small campaign is executed across worker counts x batch
+sizes x kill-and-resume points and every finalized artifact
+(``results.jsonl``, ``report.json``, ``report.txt``) must be
+*byte-identical* to the uninterrupted single-worker, single-run-batch
+reference.
+
+Also covered here: the batch-safe per-run SIGALRM deadline, the
+torn-tail recovery parser, checkpoint validation against spec drift,
+partial ``report`` on an in-flight campaign, and worker-death isolation
+inside a batch.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import campaign_artifacts, streaming_campaign_dict, truncate_jsonl
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    auto_batch_size,
+    execute_batch,
+    read_jsonl_partial,
+    run_campaign,
+)
+from repro.campaign.runner import RunTimeout, deadline
+import repro.campaign.runner as runner_mod
+
+
+@pytest.fixture(scope="module")
+def golden(tmp_path_factory):
+    """The uninterrupted reference execution: workers=1, batch_size=1."""
+    out = tmp_path_factory.mktemp("golden") / "out"
+    spec = CampaignSpec.from_dict(streaming_campaign_dict())
+    records = run_campaign(spec, workers=1, batch_size=1, out_dir=out)
+    assert [r["status"] for r in records] == ["ok"] * 12
+    return {"out": out, "artifacts": campaign_artifacts(out)}
+
+
+def _spec() -> CampaignSpec:
+    return CampaignSpec.from_dict(streaming_campaign_dict())
+
+
+def _seed_resume_dir(golden, tmp_path, name, keep_lines, torn_bytes=0):
+    """An interrupted-campaign directory: truncated checkpoint + spec."""
+    out = tmp_path / name
+    out.mkdir()
+    results = out / "results.jsonl"
+    results.write_bytes((golden["out"] / "results.jsonl").read_bytes())
+    truncate_jsonl(results, keep_lines, torn_bytes=torn_bytes)
+    (out / "spec.json").write_bytes((golden["out"] / "spec.json").read_bytes())
+    return out
+
+
+# -- workers x batch size ----------------------------------------------------
+
+@pytest.mark.parametrize("workers,batch_size", [
+    (1, 2),       # inline, batched
+    (1, None),    # inline, auto-tuned
+    (2, 1),       # pool, one run per task (the PR-1 strategy)
+    (2, 3),       # pool, batches that straddle the matrix unevenly
+    (3, None),    # pool, auto-tuned
+])
+def test_artifacts_byte_identical_across_workers_and_batch(
+    golden, tmp_path, workers, batch_size
+):
+    out = tmp_path / "out"
+    records = run_campaign(_spec(), workers=workers, batch_size=batch_size,
+                           out_dir=out)
+    assert len(records) == 12
+    assert campaign_artifacts(out) == golden["artifacts"]
+
+
+# -- kill-and-resume at every record boundary --------------------------------
+
+def test_resume_at_every_truncation_point_is_byte_identical(golden, tmp_path):
+    """Property-style: truncate the checkpoint after k = 0..12 records,
+    resume (cycling worker counts and batch sizes), and require the
+    finalized artifacts byte-identical to the uninterrupted campaign --
+    including k = 12, where resume only re-finalizes."""
+    configs = [(1, 1), (1, 2), (2, 3), (1, None)]
+    for keep in range(13):
+        out = _seed_resume_dir(golden, tmp_path, f"resume-{keep}", keep)
+        workers, batch_size = configs[keep % len(configs)]
+        records = CampaignRunner(
+            _spec(), workers=workers, batch_size=batch_size, out_dir=out
+        ).resume()
+        assert len(records) == 12, f"truncation point {keep}"
+        assert campaign_artifacts(out) == golden["artifacts"], \
+            f"truncation point {keep} (workers={workers}, batch={batch_size})"
+
+
+def test_resume_discards_torn_tail_reruns_it_and_warns(golden, tmp_path):
+    """A crash mid-append leaves a torn final line: resume must drop it,
+    warn, re-run that index, and still finalize byte-identical."""
+    out = _seed_resume_dir(golden, tmp_path, "torn", 5, torn_bytes=37)
+    messages = []
+    records = CampaignRunner(
+        _spec(), workers=1, out_dir=out, echo=messages.append
+    ).resume()
+    assert len(records) == 12
+    assert campaign_artifacts(out) == golden["artifacts"]
+    warnings = [m for m in messages if m.startswith("warning:")]
+    assert len(warnings) == 1 and "torn final line" in warnings[0]
+    # the resume header accounts for the torn record as *not* checkpointed
+    assert any("5 of 12 runs checkpointed, 7 left" in m for m in messages)
+
+
+def test_resume_discards_drifted_and_duplicate_records(golden, tmp_path):
+    out = _seed_resume_dir(golden, tmp_path, "drift", 4)
+    results = out / "results.jsonl"
+    lines = results.read_text().splitlines()
+    doctored = json.loads(lines[2])
+    doctored["seed"] += 1  # a record from some other campaign seed
+    lines[2] = json.dumps(doctored, sort_keys=True)
+    lines.append(lines[0])  # duplicate of index 0
+    results.write_text("".join(line + "\n" for line in lines))
+
+    messages = []
+    records = CampaignRunner(
+        _spec(), workers=1, out_dir=out, echo=messages.append
+    ).resume()
+    assert len(records) == 12
+    assert campaign_artifacts(out) == golden["artifacts"]
+    warnings = "\n".join(m for m in messages if m.startswith("warning:"))
+    assert "do not match the spec" in warnings
+    assert "duplicate checkpoint record for index 0" in warnings
+
+
+def test_resume_refuses_a_different_specs_directory(golden, tmp_path):
+    out = _seed_resume_dir(golden, tmp_path, "other", 3)
+    other = CampaignSpec.from_dict(streaming_campaign_dict(seed=999))
+    with pytest.raises(ValueError, match="different .* spec"):
+        CampaignRunner(other, workers=1, out_dir=out).resume()
+    # ...but a batch_size-only difference is execution-only: resumable
+    rebatched = CampaignSpec.from_dict(streaming_campaign_dict(batch_size=4))
+    records = CampaignRunner(rebatched, workers=1, out_dir=out).resume()
+    assert len(records) == 12
+    assert campaign_artifacts(out)["results.jsonl"] == \
+        golden["artifacts"]["results.jsonl"]
+
+
+def test_resume_requires_an_existing_checkpoint(tmp_path):
+    with pytest.raises(ValueError, match="output directory"):
+        CampaignRunner(_spec(), workers=1).resume()
+    with pytest.raises(FileNotFoundError):
+        CampaignRunner(_spec(), workers=1, out_dir=tmp_path / "void").resume()
+
+
+# -- streaming behaviour -----------------------------------------------------
+
+def test_records_stream_to_disk_during_the_run(tmp_path):
+    """results.jsonl grows record by record while the campaign is still
+    in flight -- the PR-1 engine only wrote it at the very end."""
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(replicates=1))  # 4 runs
+    out = tmp_path / "out"
+    results = out / "results.jsonl"
+    on_disk = []
+
+    def watch(_msg):
+        on_disk.append(len(results.read_text().splitlines())
+                       if results.exists() else 0)
+
+    run_campaign(spec, workers=1, batch_size=1, out_dir=out, echo=watch)
+    assert on_disk == sorted(on_disk), "streamed file must only grow"
+    assert any(0 < seen < 4 for seen in on_disk), \
+        "no partial state ever hit the disk: results were buffered"
+    assert on_disk[-1] == 4
+
+
+def test_progress_ticker_prints_to_stderr(tmp_path, capsys):
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(replicates=1))
+    run_campaign(spec, workers=1, batch_size=2, out_dir=tmp_path / "out",
+                 progress=True)
+    err = capsys.readouterr().err
+    assert "progress: 2/4 done (2 ok, 0 failed)" in err
+    assert "progress: 4/4 done (4 ok, 0 failed)" in err
+
+
+def test_cli_resume_verb_end_to_end(golden, tmp_path, capsys):
+    from repro.campaign.cli import main
+
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(streaming_campaign_dict()))
+    out = _seed_resume_dir(golden, tmp_path, "cli-resume", 7, torn_bytes=12)
+    assert main(["resume", str(spec_path), "--workers", "2",
+                 "--batch-size", "2", "--out", str(out), "--quiet"]) == 0
+    assert "Campaign aggregate (12/12 runs ok)" in capsys.readouterr().out
+    assert campaign_artifacts(out) == golden["artifacts"]
+    # resuming a directory that holds no checkpoint is a usage error
+    assert main(["resume", str(spec_path), "--out",
+                 str(tmp_path / "nothing-here"), "--quiet"]) == 2
+
+
+def test_report_works_on_an_in_flight_campaign(golden, tmp_path, capsys):
+    """``report`` on a partial, torn results file: warns, aggregates."""
+    from repro.campaign.cli import main
+
+    out = _seed_resume_dir(golden, tmp_path, "inflight", 6, torn_bytes=25)
+    assert main(["report", str(out)]) == 0
+    captured = capsys.readouterr()
+    assert "torn final line" in captured.err
+    assert "Campaign aggregate (6/6 runs ok)" in captured.out
+
+
+# -- the recovery parser -----------------------------------------------------
+
+def test_read_jsonl_partial_accepts_clean_and_torn_files(tmp_path):
+    path = tmp_path / "r.jsonl"
+    full = [{"index": i, "x": "y" * 10} for i in range(3)]
+    path.write_text("".join(json.dumps(r) + "\n" for r in full))
+    records, warnings = read_jsonl_partial(path)
+    assert (records, warnings) == (full, [])
+
+    # torn tail: the last line is a prefix of a record
+    path.write_text(
+        "".join(json.dumps(r) + "\n" for r in full[:2])
+        + json.dumps(full[2])[:9]
+    )
+    records, warnings = read_jsonl_partial(path)
+    assert records == full[:2]
+    assert len(warnings) == 1 and "torn final line 3" in warnings[0]
+
+    # a torn *non-object* tail (e.g. a bare literal) is also discarded
+    path.write_text(json.dumps(full[0]) + "\n" + "42")
+    records, warnings = read_jsonl_partial(path)
+    assert records == full[:1] and len(warnings) == 1
+
+    # empty and whitespace-only files are just "no records yet"
+    path.write_text("")
+    assert read_jsonl_partial(path) == ([], [])
+    path.write_text("\n\n")
+    assert read_jsonl_partial(path) == ([], [])
+
+
+def test_read_jsonl_partial_rejects_mid_file_corruption(tmp_path):
+    """Only the *final* line can legitimately be torn; damage anywhere
+    else means the file is not an append-only checkpoint -- refuse to
+    silently drop data from it."""
+    path = tmp_path / "r.jsonl"
+    path.write_text('{"index": 0}\n{"torn...\n{"index": 2}\n')
+    with pytest.raises(ValueError, match="corrupt line 2"):
+        read_jsonl_partial(path)
+    path.write_text('{"index": 0}\n[1, 2]\n{"index": 2}\n')
+    with pytest.raises(ValueError, match="corrupt line 2"):
+        read_jsonl_partial(path)
+
+
+# -- batched dispatch mechanics ----------------------------------------------
+
+def test_auto_batch_size_amortises_without_starving_the_pool():
+    assert auto_batch_size(0, 2) == 1
+    assert auto_batch_size(8, 2) == 1       # small matrix: batching can't pay
+    assert auto_batch_size(64, 2) == 8      # ~4 batches per worker
+    assert auto_batch_size(64, 1) == 16
+    assert auto_batch_size(10_000, 4) == 32  # capped: streaming cadence
+    assert auto_batch_size(5, 0) == 2        # workers clamped to >= 1
+
+
+def test_spec_batch_size_round_trips_and_validates():
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(batch_size=5))
+    assert spec.batch_size == 5
+    assert CampaignSpec.from_dict(spec.to_dict()).batch_size == 5
+    assert CampaignSpec.from_dict(streaming_campaign_dict()).batch_size is None
+    with pytest.raises(ValueError, match="batch_size"):
+        CampaignSpec.from_dict(streaming_campaign_dict(batch_size=0))
+    with pytest.raises(ValueError, match="batch_size"):
+        CampaignRunner(_spec(), batch_size=0)
+
+
+def test_runner_honours_spec_batch_size_unless_overridden():
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(batch_size=5))
+    messages = []
+    CampaignRunner(spec, workers=1, echo=messages.append).run()
+    assert "batch size 5" in messages[0]
+    messages.clear()
+    CampaignRunner(spec, workers=1, batch_size=2, echo=messages.append).run()
+    assert "batch size 2" in messages[0]
+
+
+def _lethal_index0_execute_run(run):
+    """Module-level so fork children resolve it; run 0 dies like an
+    OOM-kill, taking its whole batch's worker with it."""
+    if run["index"] == 0:
+        os._exit(1)
+    return _REAL_EXECUTE_RUN(run)
+
+
+_REAL_EXECUTE_RUN = runner_mod.execute_run
+
+
+@pytest.mark.skipif(
+    __import__("multiprocessing").get_start_method() != "fork",
+    reason="the lethal execute_run is monkeypatched into the runner module "
+           "and only fork-started workers inherit that patch",
+)
+def test_worker_death_inside_a_batch_only_loses_the_lethal_run(
+    monkeypatch, tmp_path
+):
+    """One batch holds runs 0..3; run 0 kills the worker.  Its innocent
+    batchmates must be retried and complete; only run 0 errors."""
+    monkeypatch.setattr(runner_mod, "execute_run", _lethal_index0_execute_run)
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(replicates=1))
+    out = tmp_path / "out"
+    records = run_campaign(spec, workers=2, batch_size=4, out_dir=out)
+    statuses = {r["index"]: r["status"] for r in records}
+    assert statuses == {0: "error", 1: "ok", 2: "ok", 3: "ok"}
+    assert "worker died" in records[0]["error"]
+    assert [r["index"] for r in records] == [0, 1, 2, 3]  # finalized sorted
+    on_disk = [json.loads(line)
+               for line in (out / "results.jsonl").read_text().splitlines()]
+    assert on_disk == records
+
+
+# -- batch-safe per-run deadlines --------------------------------------------
+
+def _napping_body(run):
+    """Sleeps per run: long for index 1, short otherwise."""
+    time.sleep(0.45 if run["index"] == 1 else 0.06)
+    return {"napped": True}
+
+
+def test_each_run_in_a_batch_gets_its_own_timeout_budget(monkeypatch):
+    """Regression (satellite): the deadline must re-arm per run.  Five
+    0.06 s runs under a 0.2 s per-run budget sum to 0.3 s -- a single
+    batch-scoped alarm would kill the later runs; per-run arming passes
+    them all."""
+    monkeypatch.setattr(runner_mod, "_run_body",
+                        lambda run: (time.sleep(0.06), {"ok": 1})[1])
+    payloads = [r.to_dict() for r in
+                CampaignSpec.from_dict(
+                    streaming_campaign_dict(replicates=5, axes={},
+                                            timeout=0.2)).expand()]
+    assert len(payloads) == 5
+    records = execute_batch(payloads)
+    assert [r["status"] for r in records] == ["ok"] * 5
+
+
+def test_slow_run_times_out_alone_its_batchmates_complete(monkeypatch):
+    monkeypatch.setattr(runner_mod, "_run_body", _napping_body)
+    payloads = [r.to_dict() for r in
+                CampaignSpec.from_dict(
+                    streaming_campaign_dict(replicates=4, axes={},
+                                            timeout=0.25)).expand()]
+    records = execute_batch(payloads)
+    assert [r["status"] for r in records] == ["ok", "timeout", "ok", "ok"]
+    assert "wall-clock" in records[1]["error"]
+
+
+def test_no_alarm_leaks_out_of_a_finished_deadline():
+    with deadline(0.05):
+        pass
+    time.sleep(0.12)  # a leaked alarm would raise RunTimeout here
+
+
+def test_nested_deadline_restores_the_outer_timer():
+    """The handler *and* the enclosing timer's remaining budget are
+    restored on exit, so an outer deadline still fires after an inner
+    one was armed and disarmed."""
+    started = time.monotonic()
+    with pytest.raises(RunTimeout):
+        with deadline(0.5):
+            with deadline(0.1):
+                time.sleep(0.03)  # inner survives
+            time.sleep(5.0)  # outer must fire at ~0.5 s
+    elapsed = time.monotonic() - started
+    assert elapsed < 2.0, "outer deadline was lost by the inner one"
