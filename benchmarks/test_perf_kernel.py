@@ -1,0 +1,125 @@
+"""Kernel throughput scorecard: events/sec, plus the price of profiling.
+
+Two measurements land in ``BENCH_kernel.json`` (written only under
+``REPRO_BENCH_WRITE=1``):
+
+* **raw dispatch** -- a pre-filled heap of trivial events drained by the
+  uninstrumented hot loop, and again by the instrumented twin.  The
+  uninstrumented rate is the repo's headline events/sec number; the
+  instrumented rate bounds what ``enable_stats()`` costs (it must stay
+  within 10x -- per-event ``perf_counter`` pairs are the dominant term).
+* **protocol stack** -- a bootstrapped chain scenario with kernel stats
+  enabled, reporting the events/sec the *real* handler mix achieves and
+  where its time goes.
+
+Floors are deliberately loose (slow CI boxes), but tight enough that an
+accidental O(n log n) -> O(n^2) regression in the run loop trips them.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.sim.kernel import Simulator
+
+from _harness import chain, print_rows, write_bench_json
+
+#: Events drained per timing round in the raw-dispatch measurement.
+EVENTS = 100_000
+TIMING_ROUNDS = 3
+#: The uninstrumented kernel must sustain at least this (pure python on
+#: a slow CI box still clears it by an order of magnitude).
+MIN_EVENTS_PER_SEC = 50_000.0
+#: Instrumentation may cost at most this factor in throughput.
+MAX_INSTRUMENTED_SLOWDOWN = 10.0
+
+
+def _noop():
+    pass
+
+
+def _filled_sim(instrumented: bool) -> Simulator:
+    sim = Simulator()
+    if instrumented:
+        sim.enable_stats()
+    for i in range(EVENTS):
+        sim.schedule(i * 1e-6, _noop)
+    return sim
+
+
+def _drain_rate(instrumented: bool) -> float:
+    """Best-of-N events/sec for draining a pre-filled heap."""
+    best = 0.0
+    for _ in range(TIMING_ROUNDS):
+        sim = _filled_sim(instrumented)
+        started = time.perf_counter()
+        sim.run()
+        elapsed = time.perf_counter() - started
+        assert sim.events_executed == EVENTS
+        best = max(best, EVENTS / elapsed)
+    return best
+
+
+def test_kernel_events_per_sec_scorecard():
+    plain_rate = _drain_rate(instrumented=False)
+    inst_rate = _drain_rate(instrumented=True)
+    slowdown = plain_rate / inst_rate
+
+    # the instrumented loop's own accounting agrees with external timing
+    sim = _filled_sim(instrumented=True)
+    sim.run()
+    stats = sim.stats
+    assert stats.instrumented_events == EVENTS
+    assert stats.heap_high_water == EVENTS
+    internal_rate = stats.events_per_sec
+    assert internal_rate > 0.0
+
+    # protocol-stack mix: profile a whole bootstrap + traffic run
+    scenario = chain(6).build()
+    scenario.enable_kernel_stats()
+    scenario.bootstrap_all()
+    scenario.send_data(scenario.hosts[0], scenario.hosts[-1].ip, b"x" * 64)
+    scenario.run(duration=30.0)
+    block = scenario.metrics.summary()["kernel_stats"]
+    top_handler = max(block["handlers"],
+                      key=lambda k: block["handlers"][k]["wall_ms"])
+
+    print_rows(
+        f"Kernel dispatch ({EVENTS} events, best of {TIMING_ROUNDS})",
+        ["loop", "events/sec"],
+        [
+            ["uninstrumented", f"{plain_rate:,.0f}"],
+            ["instrumented", f"{inst_rate:,.0f}"],
+            ["slowdown", f"{slowdown:.2f}x"],
+        ],
+    )
+    print_rows(
+        "Protocol stack under profiling (chain n=6)",
+        ["events/sec", "events", "top handler (by wall)"],
+        [[f"{block['events_per_sec']:,.0f}", block["events_executed"],
+          top_handler]],
+    )
+
+    assert plain_rate >= MIN_EVENTS_PER_SEC, (
+        f"uninstrumented kernel at {plain_rate:,.0f} ev/s "
+        f"(floor {MIN_EVENTS_PER_SEC:,.0f})"
+    )
+    assert slowdown <= MAX_INSTRUMENTED_SLOWDOWN, (
+        f"enable_stats() costs {slowdown:.2f}x "
+        f"(allowed {MAX_INSTRUMENTED_SLOWDOWN}x)"
+    )
+
+    write_bench_json("kernel", {
+        "raw_dispatch": {
+            "events": EVENTS,
+            "events_per_sec_uninstrumented": round(plain_rate, 1),
+            "events_per_sec_instrumented": round(inst_rate, 1),
+            "instrumented_slowdown": round(slowdown, 2),
+        },
+        "protocol_stack": {
+            "scenario": "chain n=6, bootstrap + data + 30s",
+            "events_executed": block["events_executed"],
+            "events_per_sec": block["events_per_sec"],
+            "top_handler": top_handler,
+        },
+    })

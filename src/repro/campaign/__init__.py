@@ -26,11 +26,14 @@ first-class artifact:
 """
 
 from repro.campaign.aggregate import (
+    SUMMARY_MODES,
+    StreamingAggregator,
     aggregate,
     load_results,
     load_results_partial,
     read_jsonl_partial,
     report_text,
+    tail_jsonl,
     write_jsonl,
 )
 from repro.campaign.baseline import compare, comparison_text
@@ -47,6 +50,8 @@ __all__ = [
     "CampaignRunner",
     "CampaignSpec",
     "RunSpec",
+    "SUMMARY_MODES",
+    "StreamingAggregator",
     "aggregate",
     "auto_batch_size",
     "compare",
@@ -58,5 +63,6 @@ __all__ = [
     "read_jsonl_partial",
     "report_text",
     "run_campaign",
+    "tail_jsonl",
     "write_jsonl",
 ]

@@ -2,8 +2,18 @@
 
 Records are grouped by their sweep parameters (replicates of the same
 grid point share a group) and each numeric summary column is reduced to
-mean/min/max.  Everything is JSON-clean and deterministically ordered,
-so reports diff cleanly across PRs and double as regression baselines.
+mean/min/max (plus p50/p95 under ``summary_mode="sketch"``).
+Everything is JSON-clean and deterministically ordered, so reports diff
+cleanly across PRs and double as regression baselines.
+
+Aggregation is *streaming*: :class:`StreamingAggregator` folds records
+one at a time into constant-memory :class:`~repro.obs.sketch.MetricSketch`
+accumulators, so a 10^5-run campaign aggregates without ever buffering
+per-column value lists.  Means are exactly rounded
+(:class:`~repro.obs.sketch.ExactSum`), hence independent of record
+order -- a live ``report --follow`` that consumes records in completion
+order produces the byte-identical report a post-hoc pass over the
+finalized, index-sorted file does.
 """
 
 from __future__ import annotations
@@ -12,6 +22,11 @@ import json
 import os
 
 from repro.metrics.reports import format_table
+from repro.obs.sketch import MetricSketch
+
+#: Recognized ``summary_mode`` values: ``exact`` reports mean/min/max,
+#: ``sketch`` adds constant-memory p50/p95/count per column.
+SUMMARY_MODES = ("exact", "sketch")
 
 #: Columns shown in the human-readable report table (all columns are
 #: still present in ``report.json``).
@@ -50,7 +65,73 @@ def read_jsonl(path) -> list[dict]:
     return records
 
 
-def read_jsonl_partial(path) -> tuple[list[dict], list[str]]:
+def tail_jsonl(path, offset: int = 0) -> tuple[list[dict], list[str], int]:
+    """Incremental recovery parser: parse records appended since ``offset``.
+
+    The primitive behind both crash recovery and live ``report
+    --follow``: instead of re-reading the whole file, it seeks to a
+    byte ``offset`` (0 for the first read, the previously returned
+    offset afterwards) and parses only what the append-only writer has
+    added since.  Returns ``(records, warnings, next_offset)`` where
+    ``next_offset`` covers exactly the complete records consumed.
+
+    A final line that does not parse -- torn by a crash mid-write, or
+    simply still in flight from a live writer -- is *not* consumed: it
+    is reported in ``warnings`` and excluded from ``next_offset``, so a
+    later call re-reads it once (if ever) it completes.  A final line
+    that parses but lacks its newline is a complete record whose
+    newline has not landed yet; it is consumed (JSON objects have no
+    valid proper prefix, so this is unambiguous).  Malformed content
+    anywhere *before* the final line means the file was not produced by
+    the append-only writer and raises ``ValueError`` rather than
+    silently dropping data.
+    """
+    with open(path, "rb") as fh:
+        if offset:
+            fh.seek(offset)
+        chunk = fh.read()
+    records: list[dict] = []
+    warnings: list[str] = []
+    consumed = 0
+    lines = chunk.split(b"\n")
+    fragment = lines.pop()  # bytes after the last newline ("" if none)
+    for lineno, raw in enumerate(lines, 1):
+        stripped = raw.strip()
+        if not stripped:
+            consumed += len(raw) + 1
+            continue
+        try:
+            record = json.loads(stripped)
+            if not isinstance(record, dict):
+                raise ValueError("not a JSON object")
+        except ValueError as exc:
+            if lineno == len(lines) and not fragment.strip():
+                warnings.append(
+                    f"{path}: discarded torn final line {lineno} "
+                    f"(crash mid-write: {exc})"
+                )
+                break
+            raise ValueError(f"{path}: corrupt line {lineno}: {exc}") from exc
+        records.append(record)
+        consumed += len(raw) + 1
+    else:
+        if fragment.strip():
+            try:
+                record = json.loads(fragment.strip())
+                if not isinstance(record, dict):
+                    raise ValueError("not a JSON object")
+            except ValueError as exc:
+                warnings.append(
+                    f"{path}: discarded torn final line {len(lines) + 1} "
+                    f"(crash mid-write: {exc})"
+                )
+            else:
+                records.append(record)
+                consumed += len(fragment)
+    return records, warnings, offset + consumed
+
+
+def read_jsonl_partial(path, offset: int = 0) -> tuple[list[dict], list[str]]:
     """Recovery parser for an in-flight or crash-interrupted results file.
 
     The streaming runner appends one fsync'd line per record, so the
@@ -61,29 +142,10 @@ def read_jsonl_partial(path) -> tuple[list[dict], list[str]]:
     file was not produced by the append-only writer and raises
     ``ValueError`` rather than silently dropping data.
 
-    Returns ``(records, warnings)``.
+    Returns ``(records, warnings)``; incremental consumers that need to
+    resume where they left off use :func:`tail_jsonl` directly.
     """
-    with open(path, "r", encoding="utf-8") as fh:
-        lines = fh.read().splitlines()
-    records: list[dict] = []
-    warnings: list[str] = []
-    for lineno, line in enumerate(lines, 1):
-        stripped = line.strip()
-        if not stripped:
-            continue
-        try:
-            record = json.loads(stripped)
-            if not isinstance(record, dict):
-                raise ValueError("not a JSON object")
-        except ValueError as exc:
-            if lineno == len(lines):
-                warnings.append(
-                    f"{path}: discarded torn final line {lineno} "
-                    f"(crash mid-write: {exc})"
-                )
-                break
-            raise ValueError(f"{path}: corrupt line {lineno}: {exc}") from exc
-        records.append(record)
+    records, warnings, _ = tail_jsonl(path, offset)
     return records, warnings
 
 
@@ -111,47 +173,102 @@ def group_key(record: dict) -> str:
     return json.dumps(record.get("params", {}), sort_keys=True)
 
 
-def aggregate(records: list[dict]) -> dict:
-    """Reduce records to per-group mean/min/max of every summary column."""
-    ok = [r for r in records if r.get("status") == "ok"]
-    failed = [r for r in records if r.get("status") != "ok"]
+class StreamingAggregator:
+    """Constant-memory, order-independent reduction of run records.
 
-    grouped: dict[str, list[dict]] = {}
-    for record in ok:
-        grouped.setdefault(group_key(record), []).append(record)
+    Feed records one at a time with :meth:`add` -- in any order: file
+    order, completion order, index order -- and :meth:`report` yields
+    the same bytes, because per-column state is a
+    :class:`~repro.obs.sketch.MetricSketch` (exactly-rounded mean,
+    exact min/max) rather than a buffered value list, and failed-run
+    entries are emitted sorted by run index.  The one order-sensitive
+    corner is sketch-mode quantiles beyond the exact buffer
+    (:class:`~repro.obs.sketch.StreamingQuantile`): P^2 marker state
+    depends on insertion order, so huge-group p50/p95 are
+    deterministic only for a fixed feed order (the runner always
+    aggregates the finalized, index-sorted records).
 
-    groups = []
-    for key in sorted(grouped):
-        members = grouped[key]
-        columns: dict[str, list[float]] = {}
-        for record in members:
-            for name, value in record["summary"].items():
-                if isinstance(value, (int, float)):
-                    columns.setdefault(name, []).append(float(value))
-        metrics = {
-            name: {
-                "mean": sum(vals) / len(vals),
-                "min": min(vals),
-                "max": max(vals),
-            }
-            for name, vals in sorted(columns.items())
+    Memory is O(groups x columns + failures), independent of run count.
+    """
+
+    def __init__(self, mode: str = "exact"):
+        if mode not in SUMMARY_MODES:
+            raise ValueError(
+                f"unknown summary_mode {mode!r} (expected one of {SUMMARY_MODES})"
+            )
+        self.mode = mode
+        self._groups: dict[str, dict] = {}
+        self._failed: list[tuple] = []
+        self._runs = 0
+        self._ok = 0
+
+    def add(self, record: dict) -> None:
+        self._runs += 1
+        if record.get("status") != "ok":
+            self._failed.append((
+                record.get("index", self._runs),
+                {"run_id": record["run_id"], "status": record["status"],
+                 "error": record.get("error", "")},
+            ))
+            return
+        self._ok += 1
+        group = self._groups.setdefault(
+            group_key(record), {"runs": 0, "columns": {}}
+        )
+        group["runs"] += 1
+        columns = group["columns"]
+        for name, value in record["summary"].items():
+            if isinstance(value, (int, float)):
+                sketch = columns.get(name)
+                if sketch is None:
+                    sketch = columns[name] = MetricSketch()
+                sketch.add(value)
+
+    def add_all(self, records) -> "StreamingAggregator":
+        for record in records:
+            self.add(record)
+        return self
+
+    @property
+    def runs_seen(self) -> int:
+        return self._runs
+
+    def report(self) -> dict:
+        """The aggregate report over everything added so far."""
+        sketch_mode = self.mode == "sketch"
+        groups = []
+        for key in sorted(self._groups):
+            group = self._groups[key]
+            groups.append({
+                "params": json.loads(key),
+                "runs": group["runs"],
+                "metrics": {
+                    name: group["columns"][name].stats(sketch=sketch_mode)
+                    for name in sorted(group["columns"])
+                },
+            })
+        report = {
+            "runs": self._runs,
+            "ok": self._ok,
+            "failed": [entry for _, entry in sorted(
+                self._failed, key=lambda item: item[0]
+            )],
+            "groups": groups,
         }
-        groups.append({
-            "params": json.loads(key),
-            "runs": len(members),
-            "metrics": metrics,
-        })
+        if sketch_mode:
+            report["summary_mode"] = "sketch"
+        return report
 
-    return {
-        "runs": len(records),
-        "ok": len(ok),
-        "failed": [
-            {"run_id": r["run_id"], "status": r["status"],
-             "error": r.get("error", "")}
-            for r in failed
-        ],
-        "groups": groups,
-    }
+
+def aggregate(records: list[dict], mode: str = "exact") -> dict:
+    """Reduce records to per-group stats of every summary column.
+
+    ``mode="exact"`` reports mean/min/max; ``mode="sketch"`` adds
+    constant-memory p50/p95 and per-column counts.  Implemented on
+    :class:`StreamingAggregator`, so a one-shot aggregation and an
+    incremental one over the same records are byte-identical.
+    """
+    return StreamingAggregator(mode).add_all(records).report()
 
 
 def _value_label(value) -> str:

@@ -16,21 +16,30 @@ resume   Finish an interrupted campaign: skip the run indices already
 report   Re-render the aggregate table from a results file/directory.
          Works on an in-flight or interrupted campaign: partial results
          aggregate normally and a torn tail is skipped with a warning.
+         ``--follow`` tails a live campaign incrementally (byte-offset
+         resume, no full-file re-reads) until all expected runs land,
+         then prints the final aggregate -- byte-identical to a
+         post-hoc report.
+trends   Render cross-campaign history (``BENCH_*.json`` scorecards +
+         past ``report.json`` aggregates) as a sparkline dashboard;
+         ``--html FILE`` additionally writes a static HTML export.
 compare  Diff two results files; exit 1 when regressions are found.
 
-Exit codes: 0 ok; 1 regression detected; 3 one or more runs failed.
+Exit codes: 0 ok; 1 regression detected; 2 bad input; 3 runs failed.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 from repro.campaign.aggregate import (
+    SUMMARY_MODES,
     aggregate,
     load_results,
-    load_results_partial,
+    read_jsonl_partial,
     report_text,
 )
 from repro.campaign.baseline import compare, comparison_text
@@ -70,6 +79,7 @@ def _make_runner(args) -> CampaignRunner:
         out_dir=args.out or f"campaigns/{spec.name}",
         echo=None if args.quiet else print,
         progress=args.progress,
+        telemetry=args.telemetry,
     )
 
 
@@ -81,16 +91,73 @@ def _cmd_resume(args) -> int:
     return _report_and_gate(_make_runner(args).resume(), args)
 
 
+def _resolve_results(target) -> tuple[str, str | None]:
+    """``(results_path, spec_path or None)`` for a file or campaign dir."""
+    if os.path.isdir(target):
+        spec_path = os.path.join(target, "spec.json")
+        return (os.path.join(target, "results.jsonl"),
+                spec_path if os.path.exists(spec_path) else None)
+    sibling = os.path.join(os.path.dirname(target) or ".", "spec.json")
+    return os.fspath(target), sibling if os.path.exists(sibling) else None
+
+
 def _cmd_report(args) -> int:
-    records, warnings = load_results_partial(args.results)
-    for warning in warnings:
-        print(f"warning: {warning}", file=sys.stderr)
-    report = aggregate(records)
+    results_path, spec_path = _resolve_results(args.results)
+    mode = args.summary_mode
+    if mode is None:
+        mode = "exact"
+        if spec_path is not None:
+            mode = CampaignSpec.from_file(spec_path).summary_mode
+
+    if args.follow:
+        from repro.obs.follow import follow_report
+
+        total = None
+        if spec_path is not None:
+            total = len(CampaignSpec.from_file(spec_path).expand())
+
+        def on_update(aggregator, _fresh):
+            seen = aggregator.runs_seen
+            suffix = f"/{total}" if total is not None else ""
+            print(f"follow: {seen}{suffix} runs aggregated",
+                  file=sys.stderr, flush=True)
+
+        report = follow_report(
+            results_path, total=total, mode=mode,
+            interval=args.interval, on_update=on_update,
+        )
+    else:
+        if not os.path.exists(results_path):
+            print(f"error: {results_path}: no results here -- "
+                  "run the campaign first (or pass --follow to wait for it)",
+                  file=sys.stderr)
+            return 2
+        records, warnings = read_jsonl_partial(results_path)
+        for warning in warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        report = aggregate(records, mode=mode)
+
     if args.json:
         json.dump(report, sys.stdout, indent=2, sort_keys=True)
         print()
     else:
         print(report_text(report))
+    return 0
+
+
+def _cmd_trends(args) -> int:
+    from repro.obs.trends import trends_html, trends_text
+
+    paths = args.paths or ["benchmarks", "campaigns"]
+    paths = [p for p in paths if os.path.exists(p)]
+    if not paths:
+        print("error: none of the trend source paths exist", file=sys.stderr)
+        return 2
+    print(trends_text(paths))
+    if args.html:
+        with open(args.html, "w", encoding="utf-8") as fh:
+            fh.write(trends_html(paths))
+        print(f"wrote {args.html}", file=sys.stderr)
     return 0
 
 
@@ -143,8 +210,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--latency-tol", type=float, default=0.25)
         p.add_argument("--quiet", action="store_true")
         p.add_argument("--progress", action="store_true",
-                       help="print a progress ticker to stderr as "
-                            "batches complete")
+                       help="print a progress ticker (with rate and ETA) "
+                            "to stderr as batches complete")
+        p.add_argument("--telemetry", action="store_true",
+                       help="append an fsync'd telemetry.jsonl sidecar "
+                            "(per-batch wall time, worker pid, runs/sec) "
+                            "next to results.jsonl; never changes results")
 
     p_run = sub.add_parser("run", help="execute a campaign spec")
     _add_execution_args(p_run)
@@ -161,7 +232,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("results", help="results.jsonl or campaign directory")
     p_report.add_argument("--json", action="store_true",
                           help="emit the full report as JSON")
+    p_report.add_argument("--follow", action="store_true",
+                          help="tail a live campaign incrementally until "
+                               "all expected runs land (waits for the "
+                               "results file to appear)")
+    p_report.add_argument("--interval", type=float, default=0.5,
+                          help="poll interval for --follow (seconds, "
+                               "default 0.5)")
+    p_report.add_argument("--summary-mode", choices=SUMMARY_MODES,
+                          default=None,
+                          help="column reduction: exact (mean/min/max) or "
+                               "sketch (adds streaming p50/p95); default: "
+                               "the campaign spec's summary_mode")
     p_report.set_defaults(func=_cmd_report)
+
+    p_trends = sub.add_parser(
+        "trends",
+        help="sparkline dashboard of cross-campaign history "
+             "(BENCH_*.json + report.json files)")
+    p_trends.add_argument("paths", nargs="*",
+                          help="files/directories to scan "
+                               "(default: benchmarks campaigns)")
+    p_trends.add_argument("--html", default=None, metavar="FILE",
+                          help="also write a static HTML export")
+    p_trends.set_defaults(func=_cmd_trends)
 
     p_cmp = sub.add_parser("compare", help="diff two results files")
     p_cmp.add_argument("baseline")

@@ -276,6 +276,24 @@ def execute_batch(runs: list[dict]) -> list[dict]:
     return [execute_run(run) for run in runs]
 
 
+def _timed_execute_batch(runs: list[dict]) -> dict:
+    """:func:`execute_batch` plus wall-clock metadata, for telemetry.
+
+    Submitted to workers instead of :func:`execute_batch` when the
+    runner's telemetry sidecar is enabled, so each batch record can
+    carry the executing worker's pid and in-worker wall time.  The run
+    records themselves are untouched -- telemetry never changes
+    ``results.jsonl``.
+    """
+    started = time.perf_counter()
+    records = execute_batch(runs)
+    return {
+        "records": records,
+        "wall_s": time.perf_counter() - started,
+        "worker_pid": os.getpid(),
+    }
+
+
 #: Auto-tuned batches never exceed this many runs, so even enormous
 #: matrices keep streaming records out at a reasonable cadence.
 MAX_AUTO_BATCH = 32
@@ -327,7 +345,12 @@ class CampaignRunner:
     ``workers <= 1`` runs inline (easier debugging, identical results).
     ``batch_size=None`` defers to ``spec.batch_size``, and ``None``
     there auto-tunes via :func:`auto_batch_size`.  ``progress=True``
-    prints a ticker line to stderr as batches land.
+    prints a ticker line to stderr as batches land (rate and ETA once
+    the first batch has completed).  ``telemetry=True`` appends an
+    fsync'd ``telemetry.jsonl`` sidecar (per-batch wall time, worker
+    pid, runs/sec, retry/timeout counts -- see
+    :mod:`repro.obs.telemetry`) next to ``results.jsonl``; telemetry is
+    wall-clock data and never changes the deterministic artifacts.
     """
 
     def __init__(
@@ -338,6 +361,7 @@ class CampaignRunner:
         out_dir=None,
         echo=None,
         progress: bool = False,
+        telemetry: bool = False,
     ):
         self.spec = spec
         self.workers = max(1, int(workers))
@@ -348,9 +372,16 @@ class CampaignRunner:
         self.batch_size = None if batch_size is None else int(batch_size)
         self.out_dir = None if out_dir is None else os.fspath(out_dir)
         self.progress = bool(progress)
+        self.telemetry = bool(telemetry)
+        if self.telemetry and self.out_dir is None:
+            raise ValueError("telemetry requires an output directory")
         self._say = echo or (lambda _msg: None)
         self._counts = {"ok": 0, "failed": 0}
         self._total = 0
+        self._telemetry = None
+        self._started = None
+        self._done_at_start = 0
+        self._retries = 0
 
     # -- public entry points --------------------------------------------
     def run(self) -> list[dict]:
@@ -388,14 +419,20 @@ class CampaignRunner:
             f"{self.workers} worker(s), batch size {batch}"
         )
         existing = sorted(kept.values(), key=lambda r: r["index"])
-        return self._execute(pending, existing=existing, batch=batch)
+        return self._execute(pending, existing=existing, batch=batch,
+                             resumed=True)
 
     # -- resume helpers -------------------------------------------------
     @staticmethod
     def _spec_fingerprint(data: dict) -> dict:
-        """Spec dict minus execution-only keys (they never change results)."""
+        """Spec dict minus execution/reporting-only keys.
+
+        ``batch_size`` never changes results; ``summary_mode`` only
+        changes how reports reduce them.  Neither may block a resume.
+        """
         data = dict(data)
         data.pop("batch_size", None)
+        data.pop("summary_mode", None)
         return data
 
     def _check_spec_provenance(self) -> None:
@@ -454,54 +491,110 @@ class CampaignRunner:
 
     # -- execution core -------------------------------------------------
     def _execute(self, pending: list[dict], existing: list[dict],
-                 batch: int) -> list[dict]:
+                 batch: int, resumed: bool = False) -> list[dict]:
         self._total = len(pending) + len(existing)
         self._counts = {
             "ok": sum(1 for r in existing if r["status"] == "ok"),
             "failed": sum(1 for r in existing if r["status"] != "ok"),
         }
+        self._started = time.perf_counter()
+        self._done_at_start = len(existing)
+        self._retries = 0
         records = list(existing)
         stream = self._open_stream(existing)
+        if self.telemetry:
+            from repro.obs.telemetry import TelemetryTracker
+
+            self._telemetry = TelemetryTracker(
+                os.path.join(self.out_dir, "telemetry.jsonl")
+            )
+            self._telemetry.start(
+                campaign=self.spec.name,
+                total_runs=self._total,
+                pending_runs=len(pending),
+                workers=self.workers,
+                batch_size=batch,
+                resumed=resumed,
+            )
         try:
             if pending:
                 chunks = [pending[i:i + batch]
                           for i in range(0, len(pending), batch)]
                 if self.workers <= 1:
                     for chunk in chunks:
-                        self._ingest(execute_batch(chunk), records, stream)
+                        if self._telemetry is None:
+                            self._ingest(execute_batch(chunk), records, stream)
+                        else:
+                            outcome = _timed_execute_batch(chunk)
+                            self._ingest(outcome["records"], records, stream)
+                            self._batch_telemetry(outcome)
                 else:
                     self._dispatch(chunks, records, stream)
+            if self._telemetry is not None:
+                self._telemetry.finish(
+                    runs=len(records),
+                    ok=self._counts["ok"],
+                    failed=self._counts["failed"],
+                    timeouts=sum(1 for r in records
+                                 if r.get("status") == "timeout"),
+                    retries=self._retries,
+                    wall_s=time.perf_counter() - self._started,
+                )
         finally:
             if stream is not None:
                 stream.close()
+            if self._telemetry is not None:
+                self._telemetry.close()
+                self._telemetry = None
         records.sort(key=lambda r: r["index"])
         if self.out_dir is not None:
             self._finalize(records)
         return records
 
+    def _batch_telemetry(self, outcome: dict, retried: bool = False) -> None:
+        """Emit one ``batch`` telemetry record for a completed outcome."""
+        batch_records = outcome["records"]
+        ok = sum(1 for r in batch_records if r["status"] == "ok")
+        self._telemetry.batch(
+            runs=len(batch_records),
+            ok=ok,
+            failed=len(batch_records) - ok,
+            wall_s=outcome["wall_s"],
+            worker_pid=outcome["worker_pid"],
+            done=self._counts["ok"] + self._counts["failed"],
+            total=self._total,
+            retried=retried,
+        )
+
     def _dispatch(self, chunks: list[list[dict]], records: list[dict],
                   stream) -> None:
         """Run batches across the pool; stream results as they complete."""
         context = multiprocessing.get_context()
+        task = execute_batch if self._telemetry is None else _timed_execute_batch
         orphaned = []  # runs whose worker died (their pool became unusable)
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.workers, len(chunks)), mp_context=context
         ) as pool:
-            futures = {pool.submit(execute_batch, c): c for c in chunks}
+            futures = {pool.submit(task, c): c for c in chunks}
             for future in concurrent.futures.as_completed(futures):
                 try:
-                    batch_records = future.result()
+                    outcome = future.result()
                 except Exception:  # worker died (OOM-kill, segfault): the
                     # pool is broken and every pending future fails with it;
                     # execute_batch can't catch process death from inside
                     orphaned.extend(futures[future])
                     continue
-                self._ingest(batch_records, records, stream)
+                if self._telemetry is None:
+                    self._ingest(outcome, records, stream)
+                else:
+                    self._ingest(outcome["records"], records, stream)
+                    self._batch_telemetry(outcome)
         # Retry each orphan in its own fresh single-worker pool: innocent
         # batchmates and bystanders of the breakage complete normally, and
         # the run that actually kills its worker only takes its private
         # pool with it.
         for payload in sorted(orphaned, key=lambda p: p["index"]):
+            retry_started = time.perf_counter()
             try:
                 with concurrent.futures.ProcessPoolExecutor(
                     max_workers=1, mp_context=context
@@ -509,7 +602,16 @@ class CampaignRunner:
                     record = retry_pool.submit(execute_run, payload).result()
             except Exception as exc:
                 record = _worker_death_record(payload, exc)
+            self._retries += 1
             self._ingest([record], records, stream, suffix=" (retried)")
+            if self._telemetry is not None:
+                # the retry pool's worker pid is gone with the pool; report
+                # the coordinating process instead
+                self._batch_telemetry({
+                    "records": [record],
+                    "wall_s": time.perf_counter() - retry_started,
+                    "worker_pid": os.getpid(),
+                }, retried=True)
 
     def _ingest(self, batch_records: list[dict], records: list[dict],
                 stream, suffix: str = "") -> None:
@@ -527,9 +629,26 @@ class CampaignRunner:
             done = self._counts["ok"] + self._counts["failed"]
             print(
                 f"progress: {done}/{self._total} done "
-                f"({self._counts['ok']} ok, {self._counts['failed']} failed)",
+                f"({self._counts['ok']} ok, {self._counts['failed']} failed)"
+                + self._progress_rate(done),
                 file=sys.stderr, flush=True,
             )
+
+    def _progress_rate(self, done: int) -> str:
+        """Rate + ETA ticker suffix from this execution's own wall clock.
+
+        Empty until the first run of *this* execution lands (a resume's
+        checkpointed records say nothing about current throughput).
+        """
+        if self._started is None:
+            return ""
+        elapsed = time.perf_counter() - self._started
+        completed = done - self._done_at_start
+        if completed <= 0 or elapsed <= 0:
+            return ""
+        rate = completed / elapsed
+        eta = (self._total - done) / rate
+        return f" | {rate:.1f} runs/s | eta {eta:.0f}s"
 
     # -- persistence ----------------------------------------------------
     def _open_stream(self, existing: list[dict]):
@@ -573,7 +692,7 @@ class CampaignRunner:
         tmp = path + ".tmp"
         write_jsonl(tmp, records, fsync=True)
         os.replace(tmp, path)
-        report = aggregate(records)
+        report = aggregate(records, mode=self.spec.summary_mode)
         report["campaign"] = self.spec.name
         with open(os.path.join(self.out_dir, "report.json"), "w",
                   encoding="utf-8") as fh:
@@ -592,6 +711,7 @@ def run_campaign(
     echo=None,
     batch_size: int | None = None,
     progress: bool = False,
+    telemetry: bool = False,
 ) -> list[dict]:
     """Execute every run of ``spec`` and return sorted records.
 
@@ -609,4 +729,5 @@ def run_campaign(
         out_dir=out_dir,
         echo=echo,
         progress=progress,
+        telemetry=telemetry,
     ).run()

@@ -47,7 +47,7 @@ _DEFAULT_BOOTSTRAP = {"stagger": 0.25}
 _KNOWN_KEYS = {
     "name", "seed", "replicates", "base", "axes", "samples",
     "workload", "adversaries", "bootstrap", "duration", "timeout",
-    "batch_size",
+    "batch_size", "summary_mode",
 }
 
 
@@ -109,6 +109,11 @@ class CampaignSpec:
     #: size and worker count (see :func:`repro.campaign.runner.auto_batch_size`).
     #: Execution-only: never changes results, only dispatch overhead.
     batch_size: int | None = None
+    #: How the aggregate report reduces each summary column: ``"exact"``
+    #: (mean/min/max) or ``"sketch"`` (adds constant-memory p50/p95 via
+    #: P^2 estimators -- see :mod:`repro.obs.sketch`).  Reporting-only:
+    #: never changes ``results.jsonl``, so it is resume-compatible.
+    summary_mode: str = "exact"
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -132,11 +137,17 @@ class CampaignSpec:
             timeout=float(data.get("timeout", 120.0)),
             batch_size=(int(data["batch_size"])
                         if data.get("batch_size") is not None else None),
+            summary_mode=str(data.get("summary_mode", "exact")),
         )
         if spec.replicates < 1:
             raise ValueError("replicates must be >= 1")
         if spec.batch_size is not None and spec.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if spec.summary_mode not in ("exact", "sketch"):
+            raise ValueError(
+                f"summary_mode must be 'exact' or 'sketch', "
+                f"not {spec.summary_mode!r}"
+            )
         for path, values in spec.axes.items():
             if not isinstance(values, list) or not values:
                 raise ValueError(f"axis {path!r} must map to a non-empty list")
@@ -161,6 +172,7 @@ class CampaignSpec:
             "duration": self.duration,
             "timeout": self.timeout,
             "batch_size": self.batch_size,
+            "summary_mode": self.summary_mode,
         }
 
     # -- expansion -------------------------------------------------------

@@ -22,17 +22,12 @@ from repro.ipv6.address import IPv6Address
 from repro.messages.codec import encode_call_count
 
 
-def percentile(values: list[float], q: float) -> float:
-    """Linear-interpolation percentile (``q`` in [0, 100]); 0 when empty.
-
-    Pure python so the collector stays dependency-free and the result is
-    bit-stable across numpy versions (campaign baselines diff on it).
-    """
-    if not values:
+def _quantile_sorted(ordered: list[float], q: float) -> float:
+    """Linear-interpolation quantile of an already-sorted list."""
+    if not ordered:
         return 0.0
     if not 0.0 <= q <= 100.0:
         raise ValueError("q must be in [0, 100]")
-    ordered = sorted(values)
     if len(ordered) == 1:
         return float(ordered[0])
     pos = (len(ordered) - 1) * (q / 100.0)
@@ -40,6 +35,29 @@ def percentile(values: list[float], q: float) -> float:
     hi = min(lo + 1, len(ordered) - 1)
     frac = pos - lo
     return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def percentile(values: list[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]); 0 when empty.
+
+    Pure python so the collector stays dependency-free and the result is
+    bit-stable across numpy versions (campaign baselines diff on it).
+    Taking several quantiles of one list?  Use :func:`percentiles`,
+    which sorts once instead of per call.
+    """
+    return _quantile_sorted(sorted(values), q)
+
+
+def percentiles(values: list[float], qs) -> list[float]:
+    """Several quantiles of one list, sharing a single sort.
+
+    Byte-identical to calling :func:`percentile` per ``q`` -- the sort
+    and the interpolation are the same -- just without re-sorting the
+    full list for every quantile, which is measurably cheaper on the
+    big per-flow latency lists of heavy campaigns.
+    """
+    ordered = sorted(values)
+    return [_quantile_sorted(ordered, q) for q in qs]
 
 
 @dataclass
@@ -107,6 +125,9 @@ class MetricsCollector:
         # only its folded-in total and never accrues further.
         self._encode_calls_base: int | None = encode_call_count()
         self._encode_calls_merged = 0
+        # opt-in kernel instrumentation: a zero-arg callable returning
+        # the kernel_stats dict, attached by Scenario.enable_kernel_stats
+        self._kernel_stats_provider = None
 
     @property
     def encode_calls(self) -> int:
@@ -141,6 +162,17 @@ class MetricsCollector:
         if self._encode_calls_base is not None:
             self._encode_calls_merged = self.encode_calls
             self._encode_calls_base = None
+
+    def attach_kernel_stats(self, provider) -> None:
+        """Surface kernel profiling in :meth:`summary` (opt-in).
+
+        ``provider`` is a zero-arg callable returning a JSON-clean dict
+        (typically ``sim.stats_summary``).  When attached, ``summary()``
+        gains a nested ``"kernel_stats"`` block; when not, the summary
+        is byte-identical to an uninstrumented run -- campaign records
+        therefore never contain it (the runner never attaches one).
+        """
+        self._kernel_stats_provider = provider
 
     # -- message accounting ------------------------------------------------
     def on_send(self, msg_name: str, size: int) -> None:
@@ -241,13 +273,18 @@ class MetricsCollector:
 
         Every value is an int or float, so summaries can be written to
         JSONL, diffed byte-for-byte across campaign replicates, and
-        averaged column-wise by the campaign aggregator.
+        averaged column-wise by the campaign aggregator.  The one
+        exception is the nested ``kernel_stats`` block, present only
+        when kernel instrumentation was explicitly attached (see
+        :meth:`attach_kernel_stats`); it holds wall-clock rates and is
+        deliberately absent from anything byte-compared.
         """
         latencies = [lat for f in self.flows.values() for lat in f.latencies]
+        latency_p50, latency_p95 = percentiles(latencies, (50.0, 95.0))
         data_sent = sum(f.sent for f in self.flows.values())
         data_delivered = sum(f.delivered for f in self.flows.values())
         boot_times = list(self.dad_time.values())
-        return {
+        out = {
             # data plane
             "flows": len(self.flows),
             "data_sent": data_sent,
@@ -256,8 +293,8 @@ class MetricsCollector:
             "data_dropped": sum(f.dropped for f in self.flows.values()),
             "pdr": data_delivered / data_sent if data_sent else 0.0,
             "latency_mean": sum(latencies) / len(latencies) if latencies else 0.0,
-            "latency_p50": percentile(latencies, 50.0),
-            "latency_p95": percentile(latencies, 95.0),
+            "latency_p50": latency_p50,
+            "latency_p95": latency_p95,
             # control overhead
             "msgs_sent_total": sum(self.msgs_sent.values()),
             "msgs_received_total": sum(self.msgs_received.values()),
@@ -295,6 +332,9 @@ class MetricsCollector:
             "creps_used": self.creps_used,
             "rerrs_received": self.rerrs_received,
         }
+        if self._kernel_stats_provider is not None:
+            out["kernel_stats"] = self._kernel_stats_provider()
+        return out
 
     @classmethod
     def merge(cls, collectors) -> "MetricsCollector":

@@ -1,0 +1,210 @@
+"""Runner telemetry: the fsync'd ``telemetry.jsonl`` sidecar.
+
+When a campaign runs with telemetry enabled, the runner appends one
+JSON object per event to ``telemetry.jsonl`` next to ``results.jsonl``:
+a ``start`` record when execution begins, a ``batch`` record as each
+worker batch lands (wall time, worker pid, runs/sec, retry marker), and
+a ``finish`` record with campaign-level totals (overall rate, retry and
+timeout counts).  Every line is fsync'd, so a crash loses at most the
+record in flight -- the same durability contract as the results stream.
+
+Telemetry records carry wall-clock measurements and are therefore *not*
+deterministic; they live strictly outside the byte-compared artifacts
+(``results.jsonl``, ``report.json``) and enabling them never changes
+those files.  :func:`validate_telemetry_record` /
+:func:`validate_telemetry_file` define the schema contract CI checks.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+#: Bumped whenever the record layout changes incompatibly; every record
+#: carries it as ``"v"`` so consumers can reject files they don't speak.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Required fields per record kind (beyond the ``v``/``kind`` envelope).
+_SCHEMA = {
+    "start": {
+        "campaign": str,
+        "total_runs": int,
+        "pending_runs": int,
+        "workers": int,
+        "batch_size": int,
+        "resumed": bool,
+    },
+    "batch": {
+        "seq": int,
+        "runs": int,
+        "ok": int,
+        "failed": int,
+        "wall_s": float,
+        "runs_per_sec": float,
+        "worker_pid": int,
+        "retried": bool,
+        "done": int,
+        "total": int,
+    },
+    "finish": {
+        "runs": int,
+        "ok": int,
+        "failed": int,
+        "timeouts": int,
+        "retries": int,
+        "wall_s": float,
+        "runs_per_sec": float,
+    },
+}
+
+
+def validate_telemetry_record(record: dict) -> None:
+    """Raise ``ValueError`` unless ``record`` matches the schema."""
+    if not isinstance(record, dict):
+        raise ValueError(f"telemetry record must be an object, got {type(record).__name__}")
+    if record.get("v") != TELEMETRY_SCHEMA_VERSION:
+        raise ValueError(
+            f"telemetry schema version {record.get('v')!r} "
+            f"(expected {TELEMETRY_SCHEMA_VERSION})"
+        )
+    kind = record.get("kind")
+    fields = _SCHEMA.get(kind)
+    if fields is None:
+        raise ValueError(
+            f"unknown telemetry record kind {kind!r} "
+            f"(expected one of {sorted(_SCHEMA)})"
+        )
+    for name, expected in fields.items():
+        if name not in record:
+            raise ValueError(f"telemetry {kind!r} record missing field {name!r}")
+        value = record[name]
+        # ints are acceptable floats (JSON round-trips 1.0 -> 1 sometimes),
+        # but bools are not acceptable ints.
+        if expected is float:
+            ok = isinstance(value, (int, float)) and not isinstance(value, bool)
+        elif expected is int:
+            ok = isinstance(value, int) and not isinstance(value, bool)
+        else:
+            ok = isinstance(value, expected)
+        if not ok:
+            raise ValueError(
+                f"telemetry {kind!r} field {name!r} must be "
+                f"{expected.__name__}, got {type(value).__name__}"
+            )
+
+
+def validate_telemetry_file(path) -> int:
+    """Validate every record in a ``telemetry.jsonl``; returns the count.
+
+    Checks the schema of each line plus the envelope invariants a whole
+    file must satisfy: exactly one ``start`` record (first) and at most
+    one ``finish`` record (last).  Raises ``ValueError`` on the first
+    violation.
+    """
+    count = 0
+    finished = False
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: line {lineno}: {exc}") from exc
+            try:
+                validate_telemetry_record(record)
+            except ValueError as exc:
+                raise ValueError(f"{path}: line {lineno}: {exc}") from exc
+            if finished:
+                raise ValueError(
+                    f"{path}: line {lineno}: record after 'finish'"
+                )
+            if count == 0 and record["kind"] != "start":
+                raise ValueError(
+                    f"{path}: line {lineno}: first record must be 'start', "
+                    f"got {record['kind']!r}"
+                )
+            if count > 0 and record["kind"] == "start":
+                raise ValueError(f"{path}: line {lineno}: duplicate 'start'")
+            if record["kind"] == "finish":
+                finished = True
+            count += 1
+    if count == 0:
+        raise ValueError(f"{path}: empty telemetry file")
+    return count
+
+
+class TelemetryTracker:
+    """Append-only, fsync'd writer for the ``telemetry.jsonl`` sidecar.
+
+    One tracker per campaign execution; ``start``/``batch``/``finish``
+    emit the corresponding record.  The file is truncated on open (a
+    resume starts a fresh telemetry story -- the results checkpoint is
+    the durable artifact, telemetry narrates one execution).  Safe to
+    ``close()`` twice; every record hits the disk before the emitting
+    call returns.
+    """
+
+    def __init__(self, path):
+        self._path = os.fspath(path)
+        self._fh = open(self._path, "w", encoding="utf-8")
+        self._seq = 0
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def _emit(self, record: dict) -> None:
+        record["v"] = TELEMETRY_SCHEMA_VERSION
+        validate_telemetry_record(record)
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def start(self, campaign: str, total_runs: int, pending_runs: int,
+              workers: int, batch_size: int, resumed: bool) -> None:
+        self._emit({
+            "kind": "start",
+            "campaign": str(campaign),
+            "total_runs": int(total_runs),
+            "pending_runs": int(pending_runs),
+            "workers": int(workers),
+            "batch_size": int(batch_size),
+            "resumed": bool(resumed),
+        })
+
+    def batch(self, runs: int, ok: int, failed: int, wall_s: float,
+              worker_pid: int, done: int, total: int,
+              retried: bool = False) -> None:
+        self._seq += 1
+        self._emit({
+            "kind": "batch",
+            "seq": self._seq,
+            "runs": int(runs),
+            "ok": int(ok),
+            "failed": int(failed),
+            "wall_s": round(float(wall_s), 6),
+            "runs_per_sec": round(runs / wall_s, 3) if wall_s > 0 else 0.0,
+            "worker_pid": int(worker_pid),
+            "retried": bool(retried),
+            "done": int(done),
+            "total": int(total),
+        })
+
+    def finish(self, runs: int, ok: int, failed: int, timeouts: int,
+               retries: int, wall_s: float) -> None:
+        self._emit({
+            "kind": "finish",
+            "runs": int(runs),
+            "ok": int(ok),
+            "failed": int(failed),
+            "timeouts": int(timeouts),
+            "retries": int(retries),
+            "wall_s": round(float(wall_s), 6),
+            "runs_per_sec": round(runs / wall_s, 3) if wall_s > 0 else 0.0,
+        })
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()

@@ -1,0 +1,218 @@
+"""Cross-campaign trend dashboard: sparklines over benchmark history.
+
+``campaign trends`` walks a set of directories for the repo's two kinds
+of longitudinal artifacts -- ``benchmarks/BENCH_*.json`` scorecards and
+campaign ``report.json`` aggregates -- flattens their numeric leaves
+into named series, orders each series by file modification time (the
+proxy for "when was this measurement taken"), and renders one sparkline
+row per series.  ``--html`` exports the same table as a dependency-free
+static page.
+
+Everything here is read-only and tolerant: unparseable files are
+skipped with a note, and a series with a single point still renders
+(as a flat line) rather than erroring -- fresh repos have short
+histories.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import os
+
+#: Eight-level bar glyphs, lowest to highest.
+SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+#: Campaign-report metrics promoted to trend series (the same headline
+#: columns the report table shows).
+REPORT_METRICS = (
+    "pdr",
+    "latency_p50",
+    "latency_p95",
+    "control_bytes",
+    "crypto_ops_total",
+)
+
+
+def sparkline(values) -> str:
+    """Render a numeric sequence as unicode bars; flat series mid-height."""
+    values = [float(v) for v in values]
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi == lo:
+        return SPARK_CHARS[3] * len(values)
+    span = hi - lo
+    top = len(SPARK_CHARS) - 1
+    return "".join(
+        SPARK_CHARS[min(top, int((v - lo) / span * len(SPARK_CHARS)))]
+        for v in values
+    )
+
+
+def flatten_numeric(obj, prefix: str = "") -> dict[str, float]:
+    """Dotted-path map of every numeric leaf in a nested dict (no bools)."""
+    out: dict[str, float] = {}
+    if isinstance(obj, dict):
+        for key in sorted(obj):
+            path = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(obj[key], path))
+    elif isinstance(obj, (int, float)) and not isinstance(obj, bool):
+        out[prefix] = float(obj)
+    return out
+
+
+def _bench_series(path, payload: dict) -> dict[str, float]:
+    stem = os.path.splitext(os.path.basename(path))[0]
+    name = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+    return {
+        f"bench.{name}.{key}": value
+        for key, value in flatten_numeric(payload).items()
+    }
+
+
+def _report_series(payload: dict) -> dict[str, float]:
+    """Headline series of one campaign report: per-metric mean of means."""
+    name = payload.get("campaign", "campaign")
+    series: dict[str, float] = {}
+    runs = payload.get("runs", 0)
+    if runs:
+        series[f"campaign.{name}.ok_fraction"] = payload.get("ok", 0) / runs
+    groups = payload.get("groups", [])
+    for metric in REPORT_METRICS:
+        means = [
+            group["metrics"][metric]["mean"]
+            for group in groups
+            if metric in group.get("metrics", {})
+        ]
+        if means:
+            series[f"campaign.{name}.{metric}"] = sum(means) / len(means)
+    return series
+
+
+def collect_sources(paths) -> tuple[list[tuple], list[str]]:
+    """Find trend sources under ``paths``; returns (sources, notes).
+
+    Sources are ``(mtime, path, series_dict)`` sorted by
+    ``(mtime, path)`` -- modification time orders the history, the path
+    tie-breaks for determinism when mtimes collide (e.g. a fresh
+    checkout).  Unreadable or unparseable candidates become notes, not
+    errors.
+    """
+    candidates: list[str] = []
+    for root in paths:
+        root = os.fspath(root)
+        if os.path.isfile(root):
+            candidates.append(root)
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames.sort()
+            for filename in sorted(filenames):
+                if filename == "report.json" or (
+                    filename.startswith("BENCH_") and filename.endswith(".json")
+                ):
+                    candidates.append(os.path.join(dirpath, filename))
+    sources: list[tuple] = []
+    notes: list[str] = []
+    for path in candidates:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            notes.append(f"skipped {path}: {exc}")
+            continue
+        if not isinstance(payload, dict):
+            notes.append(f"skipped {path}: not a JSON object")
+            continue
+        if os.path.basename(path) == "report.json":
+            series = _report_series(payload)
+        else:
+            series = _bench_series(path, payload)
+        if series:
+            sources.append((os.path.getmtime(path), path, series))
+    sources.sort(key=lambda item: (item[0], item[1]))
+    return sources, notes
+
+
+def trend_series(paths) -> tuple[dict[str, list[tuple]], list[str]]:
+    """History per series name: ``{name: [(mtime, path, value), ...]}``."""
+    sources, notes = collect_sources(paths)
+    history: dict[str, list[tuple]] = {}
+    for mtime, path, series in sources:
+        for name, value in series.items():
+            history.setdefault(name, []).append((mtime, path, value))
+    return history, notes
+
+
+def _format_value(value: float) -> str:
+    return f"{value:.4g}"
+
+
+def trends_text(paths) -> str:
+    """The terminal dashboard: one sparkline row per series."""
+    history, notes = trend_series(paths)
+    lines = []
+    if not history:
+        lines.append("no trend sources found (BENCH_*.json / report.json)")
+    else:
+        n_sources = len({path for points in history.values()
+                         for _, path, _ in points})
+        lines.append(
+            f"Cross-campaign trends: {len(history)} series "
+            f"from {n_sources} source file(s)"
+        )
+        lines.append("")
+        width = max(len(name) for name in history)
+        for name in sorted(history):
+            points = history[name]
+            values = [value for _, _, value in points]
+            spark = sparkline(values)
+            if len(values) == 1:
+                summary = _format_value(values[0])
+            else:
+                summary = (f"{_format_value(values[0])} -> "
+                           f"{_format_value(values[-1])}")
+            lines.append(
+                f"{name:<{width}}  {spark}  {summary}  ({len(values)} pt)"
+            )
+    for note in notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def trends_html(paths) -> str:
+    """Static HTML export of the same dashboard (no external assets)."""
+    history, notes = trend_series(paths)
+    rows = []
+    for name in sorted(history):
+        points = history[name]
+        values = [value for _, _, value in points]
+        rows.append(
+            "<tr><td class=n>{name}</td><td class=s>{spark}</td>"
+            "<td class=v>{latest}</td><td class=c>{count}</td></tr>".format(
+                name=_html.escape(name),
+                spark=_html.escape(sparkline(values)),
+                latest=_html.escape(_format_value(values[-1])),
+                count=len(values),
+            )
+        )
+    note_html = "".join(
+        f"<p class=note>{_html.escape(note)}</p>" for note in notes
+    )
+    return (
+        "<!doctype html><html><head><meta charset=\"utf-8\">"
+        "<title>Cross-campaign trends</title><style>"
+        "body{font-family:monospace;margin:2em;background:#111;color:#ddd}"
+        "table{border-collapse:collapse}"
+        "td,th{padding:.2em .8em;text-align:left}"
+        "td.s{font-size:1.4em;letter-spacing:.05em}"
+        "td.v{color:#8c8}tr:nth-child(even){background:#1a1a1a}"
+        ".note{color:#986}</style></head><body>"
+        "<h1>Cross-campaign trends</h1>"
+        "<table><tr><th>series</th><th>trend</th><th>latest</th>"
+        "<th>points</th></tr>"
+        + "".join(rows)
+        + "</table>"
+        + note_html
+        + "</body></html>\n"
+    )

@@ -161,6 +161,19 @@ class Scenario:
         """Convenience passthrough to the source node's router."""
         return src.router.send_data(dst, payload, **kw)
 
+    def enable_kernel_stats(self):
+        """Opt into kernel profiling for this scenario.
+
+        Attaches a :class:`~repro.obs.kernel_stats.KernelStats` sink to
+        the simulator and surfaces its digest as the ``kernel_stats``
+        block of :meth:`MetricsCollector.summary`.  Observation-only:
+        event ordering, RNG streams, traces, and every other summary
+        field are byte-identical to an uninstrumented run.
+        """
+        stats = self.sim.enable_stats()
+        self.metrics.attach_kernel_stats(self.sim.stats_summary)
+        return stats
+
     def configured_count(self) -> int:
         return sum(1 for n in self.hosts if n.configured)
 

@@ -132,6 +132,7 @@ class Simulator:
         self._events_executed = 0
         self._cancelled_pending = 0
         self._compactions = 0
+        self._stats = None  # opt-in KernelStats sink; None = uninstrumented
 
     # ------------------------------------------------------------------
     # clock
@@ -164,6 +165,45 @@ class Simulator:
     def compactions(self) -> int:
         """How many times the heap was auto-compacted."""
         return self._compactions
+
+    # ------------------------------------------------------------------
+    # instrumentation (opt-in; see repro.obs.kernel_stats)
+    # ------------------------------------------------------------------
+    @property
+    def stats(self):
+        """The attached :class:`~repro.obs.kernel_stats.KernelStats`
+        sink, or ``None`` when the kernel runs uninstrumented."""
+        return self._stats
+
+    def enable_stats(self, stats=None):
+        """Attach a stats sink and switch to the instrumented run loop.
+
+        Returns the sink (a fresh
+        :class:`~repro.obs.kernel_stats.KernelStats` unless one is
+        passed in).  Instrumentation is observation-only -- it never
+        touches the clock, the RNG streams, or event ordering, so an
+        instrumented run executes the exact same simulation.  The
+        *uninstrumented* path is a separate loop with zero added work,
+        so leaving stats off costs nothing.
+        """
+        if stats is None:
+            from repro.obs.kernel_stats import KernelStats
+
+            stats = KernelStats()
+        self._stats = stats
+        stats.observe_heap(len(self._heap))
+        return stats
+
+    def disable_stats(self):
+        """Detach and return the stats sink (``None`` if never enabled)."""
+        stats, self._stats = self._stats, None
+        return stats
+
+    def stats_summary(self) -> dict | None:
+        """The sink's JSON-clean digest with kernel counters folded in."""
+        if self._stats is None:
+            return None
+        return self._stats.summary(self)
 
     # ------------------------------------------------------------------
     # randomness
@@ -283,19 +323,27 @@ class Simulator:
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if queue is empty."""
+        stats = self._stats
         while self._heap:
+            if stats is not None:
+                stats.observe_heap(len(self._heap))
             time, _, _, payload = heapq.heappop(self._heap)
             if type(payload) is Event:
                 payload.popped = True
                 if payload.cancelled:
                     self._cancelled_pending -= 1
+                    if stats is not None:
+                        stats.cancelled_skipped += 1
                     continue
                 callback, args = payload.callback, payload.args
             else:
                 callback, args = payload
             self._now = time
             self._events_executed += 1
-            callback(*args)
+            if stats is not None:
+                self._timed_call(stats, callback, args)
+            else:
+                callback(*args)
             return True
         return False
 
@@ -309,20 +357,71 @@ class Simulator:
         if self._running:
             raise SimulationError("simulator is already running (re-entrant run())")
         self._running = True
+        try:
+            if self._stats is None:
+                self._drain(until, max_events)
+            else:
+                self._drain_instrumented(until, max_events)
+        finally:
+            self._running = False
+
+    def _drain(self, until: float | None, max_events: int | None) -> None:
+        """The uninstrumented hot loop -- nothing beyond event dispatch."""
         executed = 0
         heap = self._heap
         pop = heapq.heappop
+        while heap:
+            if max_events is not None and executed >= max_events:
+                return
+            if until is not None and heap[0][0] > until:
+                break
+            time, _, _, payload = pop(heap)
+            if type(payload) is Event:
+                payload.popped = True
+                if payload.cancelled:
+                    self._cancelled_pending -= 1
+                    continue
+                callback, args = payload.callback, payload.args
+            else:
+                callback, args = payload
+            self._now = time
+            self._events_executed += 1
+            executed += 1
+            callback(*args)
+        if until is not None and until > self._now:
+            self._now = until
+
+    def _drain_instrumented(self, until: float | None,
+                            max_events: int | None) -> None:
+        """Twin of :meth:`_drain` that feeds the attached stats sink.
+
+        Identical event semantics (ordering, clock, cancellation); adds
+        heap high-water sampling at each event boundary, cancelled-skip
+        counting, and per-handler wall-time buckets.  Heap length peaks
+        right after a callback returns (callbacks only push), so
+        loop-top sampling observes the true high-water mark between
+        compactions.
+        """
+        from time import perf_counter
+
+        stats = self._stats
+        executed = 0
+        heap = self._heap
+        pop = heapq.heappop
+        loop_started = perf_counter()
         try:
             while heap:
                 if max_events is not None and executed >= max_events:
                     return
                 if until is not None and heap[0][0] > until:
                     break
+                stats.observe_heap(len(heap))
                 time, _, _, payload = pop(heap)
                 if type(payload) is Event:
                     payload.popped = True
                     if payload.cancelled:
                         self._cancelled_pending -= 1
+                        stats.cancelled_skipped += 1
                         continue
                     callback, args = payload.callback, payload.args
                 else:
@@ -330,11 +429,25 @@ class Simulator:
                 self._now = time
                 self._events_executed += 1
                 executed += 1
-                callback(*args)
+                self._timed_call(stats, callback, args)
             if until is not None and until > self._now:
                 self._now = until
         finally:
-            self._running = False
+            stats.instrumented_events += executed
+            stats.wall_seconds += perf_counter() - loop_started
+
+    @staticmethod
+    def _timed_call(stats, callback, args) -> None:
+        from time import perf_counter
+
+        from repro.obs.kernel_stats import handler_kind
+
+        started = perf_counter()
+        try:
+            callback(*args)
+        finally:
+            stats.observe_handler(handler_kind(callback),
+                                  perf_counter() - started)
 
     def drain_cancelled(self) -> int:
         """Compact the heap by dropping cancelled residue.  Returns count dropped.
@@ -344,6 +457,10 @@ class Simulator:
         explicitly for long simulations with unusual cancel patterns.
         """
         before = len(self._heap)
+        if self._stats is not None:
+            # the pre-compaction length is a heap peak the run loop's
+            # boundary sampling cannot see (compaction fires mid-callback)
+            self._stats.observe_heap(before)
         live = [entry for entry in self._heap if not _entry_cancelled(entry)]
         heapq.heapify(live)
         # Mutate in place rather than rebinding: auto-compaction can fire

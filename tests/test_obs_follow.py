@@ -1,0 +1,212 @@
+"""Live tailing: byte-offset resume, replace tolerance, follow == post-hoc.
+
+The acceptance contract: ``report --follow`` over an in-flight campaign
+consumes only appended bytes (no full-file re-reads in steady state),
+survives the runner's finalize ``os.replace``, and its final report is
+byte-identical to a post-hoc report over the finalized file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+
+import pytest
+
+from conftest import streaming_campaign_dict
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    aggregate,
+    tail_jsonl,
+)
+from repro.campaign.cli import main
+from repro.obs.follow import ResultsTail, follow_report
+
+
+def _write(path, text, mode="a"):
+    with open(path, mode, encoding="utf-8") as fh:
+        fh.write(text)
+
+
+def _rec(i, **extra):
+    record = {"run_id": f"r-{i:04d}", "index": i, "status": "ok",
+              "params": {}, "summary": {"pdr": 1.0}}
+    record.update(extra)
+    return json.dumps(record, sort_keys=True)
+
+
+# -- tail_jsonl: the byte-offset primitive -----------------------------------
+
+def test_tail_jsonl_resumes_from_returned_offset(tmp_path):
+    path = tmp_path / "results.jsonl"
+    _write(path, _rec(0) + "\n" + _rec(1) + "\n", mode="w")
+    records, warnings, offset = tail_jsonl(path)
+    assert [r["index"] for r in records] == [0, 1]
+    assert warnings == []
+    assert offset == os.path.getsize(path)
+
+    # appends after the offset are picked up without re-reading the past
+    _write(path, _rec(2) + "\n")
+    records, warnings, offset2 = tail_jsonl(path, offset)
+    assert [r["index"] for r in records] == [2]
+    assert offset2 == os.path.getsize(path)
+
+    # nothing new: no records, offset unchanged
+    records, warnings, offset3 = tail_jsonl(path, offset2)
+    assert records == [] and offset3 == offset2
+
+
+def test_tail_jsonl_holds_back_torn_fragment_until_complete(tmp_path):
+    path = tmp_path / "results.jsonl"
+    done, torn = _rec(0), _rec(1)
+    _write(path, done + "\n" + torn[:17], mode="w")  # torn mid-write
+    records, warnings, offset = tail_jsonl(path)
+    assert [r["index"] for r in records] == [0]
+    assert len(warnings) == 1 and "torn final line" in warnings[0]
+    assert offset == len(done) + 1  # the fragment was NOT consumed
+
+    # the writer finishes the line: the next tail reads it whole
+    _write(path, torn[17:] + "\n")
+    records, warnings, offset = tail_jsonl(path, offset)
+    assert [r["index"] for r in records] == [1]
+    assert warnings == []
+
+
+def test_tail_jsonl_consumes_newline_less_complete_record(tmp_path):
+    path = tmp_path / "results.jsonl"
+    _write(path, _rec(0), mode="w")  # complete JSON, newline not landed yet
+    records, _, offset = tail_jsonl(path)
+    assert [r["index"] for r in records] == [0]
+    # the late newline is consumed as an empty line on the next tail
+    _write(path, "\n" + _rec(1) + "\n")
+    records, _, _ = tail_jsonl(path, offset)
+    assert [r["index"] for r in records] == [1]
+
+
+def test_tail_jsonl_raises_on_corruption_before_final_line(tmp_path):
+    path = tmp_path / "results.jsonl"
+    _write(path, _rec(0) + "\n{bogus}\n" + _rec(1) + "\n", mode="w")
+    with pytest.raises(ValueError, match="corrupt line 2"):
+        tail_jsonl(path)
+
+
+# -- ResultsTail: replace tolerance ------------------------------------------
+
+def test_results_tail_survives_finalize_replace(tmp_path):
+    path = tmp_path / "results.jsonl"
+    # completion-order stream: 1, 0, 2
+    _write(path, _rec(1) + "\n" + _rec(0) + "\n", mode="w")
+    tail = ResultsTail(path)
+    assert [r["index"] for r in tail.poll()] == [1, 0]
+
+    _write(path, _rec(2) + "\n")
+    assert [r["index"] for r in tail.poll()] == [2]
+
+    # finalize: atomic replace with the index-sorted rewrite
+    tmp = str(path) + ".tmp"
+    _write(tmp, "".join(_rec(i) + "\n" for i in range(3)), mode="w")
+    os.replace(tmp, path)
+    # everything in the rewrite was already consumed: dedup yields nothing
+    assert tail.poll() == []
+
+    # a record appended after the replace still comes through
+    _write(path, _rec(3) + "\n")
+    assert [r["index"] for r in tail.poll()] == [3]
+
+
+def test_results_tail_missing_file_is_empty_not_error(tmp_path):
+    tail = ResultsTail(tmp_path / "not-yet.jsonl")
+    assert tail.poll() == []
+
+
+# -- follow_report: live == post-hoc -----------------------------------------
+
+@pytest.fixture(scope="module")
+def followed_campaign(tmp_path_factory):
+    """A campaign executed concurrently with a live follow of its stream."""
+    out = tmp_path_factory.mktemp("follow") / "out"
+    spec = CampaignSpec.from_dict(streaming_campaign_dict())
+    total = len(spec.expand())
+    # the runner thread starts *after* the follower: the follower must
+    # wait for results.jsonl to appear, then tail it to completion
+    # (deadline() is a no-op off the main thread, so runs are unaffected)
+    runner = CampaignRunner(spec, workers=1, out_dir=out)
+    thread = threading.Thread(target=runner.run)
+    report = {}
+
+    def follow():
+        report.update(follow_report(
+            os.path.join(out, "results.jsonl"),
+            total=total, mode="exact", interval=0.01,
+        ))
+
+    follower = threading.Thread(target=follow)
+    follower.start()
+    thread.start()
+    thread.join(timeout=120)
+    follower.join(timeout=120)
+    assert not thread.is_alive() and not follower.is_alive()
+    return {"out": out, "report": report, "total": total}
+
+
+def test_follow_report_matches_posthoc_bytes(followed_campaign):
+    out = followed_campaign["out"]
+    with open(os.path.join(out, "results.jsonl"), "r", encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh]
+    posthoc = aggregate(records, mode="exact")
+    live = followed_campaign["report"]
+    assert json.dumps(live, sort_keys=True) == \
+           json.dumps(posthoc, sort_keys=True)
+    assert live["runs"] == followed_campaign["total"]
+
+
+def test_follow_report_matches_finalized_report_json(followed_campaign):
+    with open(os.path.join(followed_campaign["out"], "report.json"),
+              encoding="utf-8") as fh:
+        finalized = json.load(fh)
+    finalized.pop("campaign")
+    assert json.dumps(followed_campaign["report"], sort_keys=True) == \
+           json.dumps(finalized, sort_keys=True)
+
+
+def test_follow_report_bounded_by_max_polls(tmp_path):
+    # nothing ever appears: the poll budget ends the loop
+    sleeps = []
+    report = follow_report(tmp_path / "never.jsonl", total=5,
+                           interval=0.0, max_polls=3, sleep=sleeps.append)
+    assert report["runs"] == 0
+    assert len(sleeps) == 2  # the final poll ends the loop without sleeping
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_report_missing_results_is_one_line_error(tmp_path, capsys):
+    out = tmp_path / "campaign-dir"
+    out.mkdir()
+    assert main(["report", str(out)]) == 2
+    captured = capsys.readouterr()
+    err_lines = [l for l in captured.err.splitlines() if l.strip()]
+    assert len(err_lines) == 1
+    assert err_lines[0].startswith("error:")
+    assert "results" in err_lines[0]
+
+
+def test_cli_report_follow_on_finished_campaign(followed_campaign, capsys):
+    out = followed_campaign["out"]
+    assert main(["report", str(out), "--json"]) == 0
+    plain = capsys.readouterr().out
+    assert main(["report", str(out), "--follow", "--interval", "0.01",
+                 "--json"]) == 0
+    followed = capsys.readouterr().out
+    assert followed == plain
+
+
+def test_cli_report_summary_mode_sketch(followed_campaign, capsys):
+    assert main(["report", str(followed_campaign["out"]),
+                 "--summary-mode", "sketch", "--json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["summary_mode"] == "sketch"
+    group = report["groups"][0]
+    assert "p95" in group["metrics"]["pdr"]

@@ -1,0 +1,137 @@
+"""Cross-campaign trends: series extraction, sparklines, CLI dashboard."""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.campaign.cli import main
+from repro.obs.trends import (
+    SPARK_CHARS,
+    collect_sources,
+    flatten_numeric,
+    sparkline,
+    trend_series,
+    trends_html,
+    trends_text,
+)
+
+
+# -- sparkline ---------------------------------------------------------------
+
+def test_sparkline_maps_extremes_to_edge_glyphs():
+    s = sparkline([0.0, 5.0, 10.0])
+    assert len(s) == 3
+    assert s[0] == SPARK_CHARS[0]
+    assert s[-1] == SPARK_CHARS[-1]
+    assert all(ch in SPARK_CHARS for ch in s)
+
+
+def test_sparkline_flat_and_empty_series():
+    assert sparkline([]) == ""
+    flat = sparkline([3.0, 3.0, 3.0, 3.0])
+    assert len(flat) == 4 and len(set(flat)) == 1
+
+
+def test_sparkline_is_monotone_for_monotone_input():
+    s = sparkline(list(range(16)))
+    levels = [SPARK_CHARS.index(ch) for ch in s]
+    assert levels == sorted(levels)
+
+
+# -- flattening --------------------------------------------------------------
+
+def test_flatten_numeric_takes_leaves_skips_bools_and_strings():
+    payload = {
+        "a": {"b": 1, "c": 2.5, "note": "text", "flag": True},
+        "top": 7,
+        "list": [1, 2, 3],  # lists are not flattened
+    }
+    assert flatten_numeric(payload) == {"a.b": 1.0, "a.c": 2.5, "top": 7.0}
+
+
+# -- source collection -------------------------------------------------------
+
+def _bench(path, payload):
+    path.write_text(json.dumps(payload))
+
+
+def _report(path, campaign, pdr):
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps({
+        "campaign": campaign, "runs": 4, "ok": 4, "failed": [],
+        "groups": [{
+            "params": {}, "runs": 4,
+            "metrics": {"pdr": {"mean": pdr, "min": pdr, "max": pdr}},
+        }],
+    }))
+
+
+def test_collect_sources_orders_history_by_mtime(tmp_path):
+    bench_dir = tmp_path / "benchmarks"
+    bench_dir.mkdir()
+    _bench(bench_dir / "BENCH_kernel.json",
+           {"scorecard": {"events_per_sec": 50000.0}})
+    old = tmp_path / "campaigns" / "old" / "report.json"
+    new = tmp_path / "campaigns" / "new" / "report.json"
+    _report(old, "sweep", 0.8)
+    _report(new, "sweep", 0.95)
+    os.utime(old, (1000, 1000))
+    os.utime(new, (2000, 2000))
+
+    sources, notes = collect_sources([bench_dir, tmp_path / "campaigns"])
+    assert notes == []
+    assert len(sources) == 3
+
+    history, _ = trend_series([bench_dir, tmp_path / "campaigns"])
+    assert history["campaign.sweep.pdr"] == [
+        (1000.0, str(old), 0.8), (2000.0, str(new), 0.95)]
+    assert "bench.kernel.scorecard.events_per_sec" in history
+
+
+def test_unparseable_sources_become_notes_not_errors(tmp_path):
+    (tmp_path / "BENCH_broken.json").write_text("{not json")
+    (tmp_path / "report.json").write_text('"just a string"')
+    sources, notes = collect_sources([tmp_path])
+    assert sources == []
+    assert len(notes) == 2
+    text = trends_text([tmp_path])
+    assert "no trend sources found" in text
+    assert "note: skipped" in text
+
+
+def test_trends_text_renders_sparkline_rows(tmp_path):
+    _report(tmp_path / "a" / "report.json", "sweep", 0.5)
+    _report(tmp_path / "b" / "report.json", "sweep", 1.0)
+    os.utime(tmp_path / "a" / "report.json", (1000, 1000))
+    os.utime(tmp_path / "b" / "report.json", (2000, 2000))
+    text = trends_text([tmp_path])
+    assert "campaign.sweep.pdr" in text
+    assert "(2 pt)" in text
+    assert "0.5 -> 1" in text
+    assert any(ch in SPARK_CHARS for ch in text)
+
+
+def test_trends_html_is_escaped_and_self_contained(tmp_path):
+    _report(tmp_path / "x" / "report.json", "a<b&c", 0.9)
+    html = trends_html([tmp_path])
+    assert html.startswith("<!doctype html>")
+    assert "a&lt;b&amp;c" in html
+    assert "a<b&c" not in html
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def test_cli_trends_dashboard_and_html_export(tmp_path, capsys):
+    _report(tmp_path / "one" / "report.json", "sweep", 0.7)
+    html_out = tmp_path / "trends.html"
+    assert main(["trends", str(tmp_path), "--html", str(html_out)]) == 0
+    captured = capsys.readouterr()
+    assert "campaign.sweep.pdr" in captured.out
+    assert html_out.exists()
+    assert "campaign.sweep.pdr" in html_out.read_text()
+
+
+def test_cli_trends_missing_paths_error(tmp_path, capsys):
+    assert main(["trends", str(tmp_path / "nope")]) == 2
+    assert "error:" in capsys.readouterr().err
