@@ -67,3 +67,45 @@ def verify_identity(
     if not check(public_key, payload, signature):
         return IdentityCheck(False, "bad_signature")
     return IdentityCheck(True)
+
+
+def verify_identity_batch(
+    items: list[tuple[IPv6Address, PublicKey, int, bytes, bytes]],
+    verify_batch_fn,
+) -> tuple[int, str]:
+    """Batched :func:`verify_identity` with first-failure semantics.
+
+    ``items`` holds ``(ip, public_key, rn, signature, payload)`` tuples
+    (a RREQ's source-route entries, presented together);
+    ``verify_batch_fn`` is :meth:`repro.core.node.Node.verify_batch`.
+    Returns ``(n_ok, reason)``: how many leading items passed both
+    checks, and ``""`` (all passed) or the first failing item's reason.
+
+    Equivalent, observably, to calling :func:`verify_identity` per item
+    in order and stopping at the first failure: the CGA checks are pure
+    hashing with no metrics/trace/debt side effects, so hoisting them
+    ahead of the signature pass cannot be seen from inside the
+    simulation; the signature checks then run through the node's batch
+    path in original item order, which replays per-item accounting
+    exactly and stops where the sequential loop would have stopped.
+    """
+    sig_items: list[tuple[PublicKey, bytes, bytes]] = []
+    first_bad_cga = len(items)
+    for i, (ip, public_key, rn, signature, payload) in enumerate(items):
+        try:
+            params = CGAParams(public_key, rn)
+            cga_ok = verify_cga(ip, params)
+        except ValueError:
+            cga_ok = False
+        if not cga_ok:
+            # Items past a CGA failure are unreachable in the sequential
+            # loop; never verify (or even precompute) their signatures.
+            first_bad_cga = i
+            break
+        sig_items.append((public_key, payload, signature))
+    verdicts = verify_batch_fn(sig_items)
+    if verdicts and not verdicts[-1]:
+        return (len(verdicts) - 1, "bad_signature")
+    if first_bad_cga < len(items):
+        return (first_bad_cga, "bad_cga")
+    return (len(items), "")

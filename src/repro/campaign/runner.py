@@ -555,6 +555,10 @@ class CampaignRunner:
         """Emit one ``batch`` telemetry record for a completed outcome."""
         batch_records = outcome["records"]
         ok = sum(1 for r in batch_records if r["status"] == "ok")
+        # Crypto load of the batch, from the ok runs' frozen summaries
+        # (deterministic per-run data, surfaced here so operators can
+        # watch sign/verify/cache pressure batch by batch).
+        summaries = [r["summary"] for r in batch_records if r["status"] == "ok"]
         self._telemetry.batch(
             runs=len(batch_records),
             ok=ok,
@@ -564,6 +568,11 @@ class CampaignRunner:
             done=self._counts["ok"] + self._counts["failed"],
             total=self._total,
             retried=retried,
+            crypto_sign_ops=sum(s.get("crypto_sign_ops", 0) for s in summaries),
+            crypto_verify_ops=sum(s.get("crypto_verify_ops", 0) for s in summaries),
+            crypto_verify_cache_hits=sum(
+                s.get("crypto_verify_cache_hits", 0) for s in summaries
+            ),
         )
 
     def _dispatch(self, chunks: list[list[dict]], records: list[dict],

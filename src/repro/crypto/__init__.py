@@ -24,18 +24,34 @@ Two interchangeable backends implement :class:`CryptoBackend`:
 :mod:`repro.crypto.hashes`.
 """
 
-from repro.crypto.backend import CryptoBackend, SignatureInvalid, get_backend, register_backend
-from repro.crypto.keys import KeyPair, PublicKey, PrivateKey
+from repro.crypto.backend import (
+    CryptoBackend,
+    SignatureInvalid,
+    create_backend,
+    get_backend,
+    register_backend,
+)
+from repro.crypto.keys import (
+    DEFAULT_KEYPAIR_POOL,
+    KeyPair,
+    KeypairPool,
+    PublicKey,
+    PrivateKey,
+)
 from repro.crypto.hashes import cga_hash, sha256_int, H
 from repro.crypto.rsa import RSABackend
 from repro.crypto.simsig import SimSigBackend
+from repro.crypto.verify_cache import SharedVerifyCache
 
 __all__ = [
     "CryptoBackend",
     "SignatureInvalid",
+    "create_backend",
     "get_backend",
     "register_backend",
+    "DEFAULT_KEYPAIR_POOL",
     "KeyPair",
+    "KeypairPool",
     "PublicKey",
     "PrivateKey",
     "cga_hash",
@@ -43,4 +59,5 @@ __all__ = [
     "H",
     "RSABackend",
     "SimSigBackend",
+    "SharedVerifyCache",
 ]

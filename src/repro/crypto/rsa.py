@@ -158,6 +158,10 @@ class RSABackend(CryptoBackend):
         self.e = public_exponent
         self.name = "rsa" if bits == 512 else f"rsa{bits}"
         self._key_bytes = bits // 8
+        # Execution-only op counters (crypto_stats / scorecards); RSA
+        # charges no simulated op_cost, so these never touch sim state.
+        self.signs = 0
+        self.verifies = 0
 
     # -- key management -------------------------------------------------
     def generate_keypair(self, seed: bytes) -> KeyPair:
@@ -213,11 +217,13 @@ class RSABackend(CryptoBackend):
     def sign(self, private: PrivateKey, message: bytes) -> bytes:
         if private.backend != self.name:
             raise ValueError(f"key backend {private.backend!r} != {self.name!r}")
+        self.signs += 1
         m = self._pad(self._digest(message))
         s = private.material.power(m)
         return s.to_bytes(self._key_bytes, "big")
 
     def verify(self, public: PublicKey, message: bytes, signature: bytes) -> bool:
+        self.verifies += 1
         if public.backend != self.name or len(signature) != self._key_bytes:
             return False
         n, e = public.material
@@ -232,6 +238,10 @@ class RSABackend(CryptoBackend):
         return m == expected
 
     # -- bookkeeping -----------------------------------------------------
+    def reset(self) -> None:
+        self.signs = 0
+        self.verifies = 0
+
     def signature_size(self) -> int:
         return self._key_bytes
 

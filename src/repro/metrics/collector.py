@@ -128,6 +128,9 @@ class MetricsCollector:
         # opt-in kernel instrumentation: a zero-arg callable returning
         # the kernel_stats dict, attached by Scenario.enable_kernel_stats
         self._kernel_stats_provider = None
+        # opt-in crypto fast-path instrumentation, same pattern
+        # (attached by Scenario.enable_crypto_stats)
+        self._crypto_stats_provider = None
 
     @property
     def encode_calls(self) -> int:
@@ -173,6 +176,19 @@ class MetricsCollector:
         therefore never contain it (the runner never attaches one).
         """
         self._kernel_stats_provider = provider
+
+    def attach_crypto_stats(self, provider) -> None:
+        """Surface crypto fast-path execution counters in :meth:`summary`.
+
+        Same opt-in contract as :meth:`attach_kernel_stats`: ``provider``
+        is a zero-arg callable returning a JSON-clean dict (typically
+        ``Scenario.crypto_stats``: backend sign/verify call counts,
+        shared-verify-cache hits/misses, keypair-pool hits).  These are
+        host-execution measurements -- a shared-cache hit changes none of
+        the flat summary fields by design -- so they only appear when
+        explicitly attached and are never byte-compared.
+        """
+        self._crypto_stats_provider = provider
 
     # -- message accounting ------------------------------------------------
     def on_send(self, msg_name: str, size: int) -> None:
@@ -273,11 +289,13 @@ class MetricsCollector:
 
         Every value is an int or float, so summaries can be written to
         JSONL, diffed byte-for-byte across campaign replicates, and
-        averaged column-wise by the campaign aggregator.  The one
-        exception is the nested ``kernel_stats`` block, present only
-        when kernel instrumentation was explicitly attached (see
-        :meth:`attach_kernel_stats`); it holds wall-clock rates and is
-        deliberately absent from anything byte-compared.
+        averaged column-wise by the campaign aggregator.  The exceptions
+        are the nested ``kernel_stats`` and ``crypto_stats`` blocks,
+        present only when the corresponding instrumentation was
+        explicitly attached (:meth:`attach_kernel_stats` /
+        :meth:`attach_crypto_stats`); they hold host-execution
+        measurements and are deliberately absent from anything
+        byte-compared.
         """
         latencies = [lat for f in self.flows.values() for lat in f.latencies]
         latency_p50, latency_p95 = percentiles(latencies, (50.0, 95.0))
@@ -334,6 +352,8 @@ class MetricsCollector:
         }
         if self._kernel_stats_provider is not None:
             out["kernel_stats"] = self._kernel_stats_provider()
+        if self._crypto_stats_provider is not None:
+            out["crypto_stats"] = self._crypto_stats_provider()
         return out
 
     @classmethod

@@ -45,6 +45,13 @@ _SCHEMA = {
         "retried": bool,
         "done": int,
         "total": int,
+        # Crypto work summed over the batch's ok runs (from their frozen
+        # summaries): logical sign/verify ops and LRU verify-cache hits.
+        # Deterministic per run -- they ride along here so operators can
+        # watch crypto load per batch without touching results.jsonl.
+        "crypto_sign_ops": int,
+        "crypto_verify_ops": int,
+        "crypto_verify_cache_hits": int,
     },
     "finish": {
         "runs": int,
@@ -176,7 +183,9 @@ class TelemetryTracker:
 
     def batch(self, runs: int, ok: int, failed: int, wall_s: float,
               worker_pid: int, done: int, total: int,
-              retried: bool = False) -> None:
+              retried: bool = False, crypto_sign_ops: int = 0,
+              crypto_verify_ops: int = 0,
+              crypto_verify_cache_hits: int = 0) -> None:
         self._seq += 1
         self._emit({
             "kind": "batch",
@@ -190,6 +199,9 @@ class TelemetryTracker:
             "retried": bool(retried),
             "done": int(done),
             "total": int(total),
+            "crypto_sign_ops": int(crypto_sign_ops),
+            "crypto_verify_ops": int(crypto_verify_ops),
+            "crypto_verify_cache_hits": int(crypto_verify_cache_hits),
         })
 
     def finish(self, runs: int, ok: int, failed: int, timeouts: int,

@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.bootstrap.verifier import IdentityCheck, verify_identity
+from repro.bootstrap.verifier import IdentityCheck, verify_identity, verify_identity_batch
 from repro.core.node import Node
 from repro.credit.manager import CreditManager
 from repro.credit.policy import RoutePolicy, select_route
@@ -384,16 +384,36 @@ class SecureDSRRouter:
                 self.node.verdict(f"rreq.rejected.source_{check.reason}")
                 return False
         if self.VERIFY_HOPS:
-            for entry in msg.srr:
-                check = verify_identity(
-                    self.node.backend, entry.ip, entry.public_key, entry.rn,
-                    entry.signature,
-                    signing.srr_entry_payload(entry.ip, msg.seq),
-                    verify_fn=self.node.verify,
+            if self.cfg.crypto_batch_verify and len(msg.srr) > 1:
+                # Fast path layer 2: the SRR entries arrive together, so
+                # present them to the node's batch verifier in one pass
+                # (verify_identity_batch documents why this is observably
+                # identical to the sequential loop below).
+                n_ok, reason = verify_identity_batch(
+                    [
+                        (
+                            entry.ip, entry.public_key, entry.rn,
+                            entry.signature,
+                            signing.srr_entry_payload(entry.ip, msg.seq),
+                        )
+                        for entry in msg.srr
+                    ],
+                    self.node.verify_batch,
                 )
-                if not check:
-                    self.node.verdict(f"rreq.rejected.hop_{check.reason}")
+                if reason:
+                    self.node.verdict(f"rreq.rejected.hop_{reason}")
                     return False
+            else:
+                for entry in msg.srr:
+                    check = verify_identity(
+                        self.node.backend, entry.ip, entry.public_key, entry.rn,
+                        entry.signature,
+                        signing.srr_entry_payload(entry.ip, msg.seq),
+                        verify_fn=self.node.verify,
+                    )
+                    if not check:
+                        self.node.verdict(f"rreq.rejected.hop_{check.reason}")
+                        return False
         self.node.verdict("rreq.accepted")
         return True
 

@@ -174,6 +174,40 @@ class Scenario:
         self.metrics.attach_kernel_stats(self.sim.stats_summary)
         return stats
 
+    def crypto_stats(self) -> dict:
+        """Execution counters of the crypto fast path (JSON-clean).
+
+        Backend sign/verify call counts (real computations, not the
+        metrics-level logical ops), the shared verify cache's
+        hit/miss/eviction numbers, and the process-wide keypair pool's
+        stats.  Pure observation of host work -- none of it feeds
+        simulation state.
+        """
+        from repro.crypto.keys import DEFAULT_KEYPAIR_POOL
+
+        backends = {
+            name: {
+                "signs": int(getattr(backend, "signs", 0)),
+                "verifies": int(getattr(backend, "verifies", 0)),
+            }
+            for name, backend in sorted(self.ctx.crypto_backends.items())
+        }
+        cache = self.ctx.verify_cache
+        return {
+            "backends": backends,
+            "shared_verify_cache": cache.stats() if cache is not None else None,
+            "keypair_pool": DEFAULT_KEYPAIR_POOL.stats(),
+        }
+
+    def enable_crypto_stats(self) -> None:
+        """Surface :meth:`crypto_stats` as a ``crypto_stats`` summary block.
+
+        Same opt-in contract as :meth:`enable_kernel_stats`: without this
+        call the summary is byte-identical whatever the crypto fast-path
+        flags are, which is what the equivalence gates compare.
+        """
+        self.metrics.attach_crypto_stats(self.crypto_stats)
+
     def configured_count(self) -> int:
         return sum(1 for n in self.hosts if n.configured)
 
@@ -339,6 +373,31 @@ class ScenarioBuilder:
             self._medium_index = index
         if vectorized is not None:
             self._medium_vectorized = bool(vectorized)
+        return self
+
+    def crypto(
+        self,
+        shared_cache: bool | None = None,
+        batch_verify: bool | None = None,
+        keypair_pool: bool | None = None,
+    ) -> "ScenarioBuilder":
+        """Crypto fast-path knobs (sugar over :meth:`config` fields
+        ``crypto_shared_cache`` / ``crypto_batch_verify`` /
+        ``crypto_keypair_pool``, so they sweep through the ``config``
+        spec key like any other NodeConfig override).  All default True;
+        results are byte-identical across the whole 2x2x2 matrix --
+        ``tests/test_crypto_equivalence.py`` regression-tests that claim.
+        ``None`` means "leave unchanged", same composition contract as
+        :meth:`medium`."""
+        overrides = {}
+        if shared_cache is not None:
+            overrides["crypto_shared_cache"] = bool(shared_cache)
+        if batch_verify is not None:
+            overrides["crypto_batch_verify"] = bool(batch_verify)
+        if keypair_pool is not None:
+            overrides["crypto_keypair_pool"] = bool(keypair_pool)
+        if overrides:
+            self.config(**overrides)
         return self
 
     # -- protocol ----------------------------------------------------------------
