@@ -73,6 +73,46 @@ class BootstrapManager:
         self.state = "probing"
         self._new_address_round(new_rn=True)
 
+    def reprobe(self) -> None:
+        """Re-run DAD on the *current* address (partition-heal support).
+
+        After a network merge, two halves may each hold a node that
+        configured the same address while they could not hear each
+        other; every configured host therefore optimistically re-probes.
+        The common case -- still unique -- just re-announces the existing
+        identity (and re-registers its name, since the AREQ carries it);
+        an actual duplicate triggers the normal AREP defence and the
+        loser draws a fresh address, exactly as in initial DAD.
+        """
+        if self.state != "configured":
+            return
+        self.state = "probing"
+        self.round = 0
+        self._started_at = self.node.sim.now
+        self.tentative_ip = self.node.ip
+        self._tentative_params = self.node.cga_params
+        self.requested_name = self.node.domain_name
+        self._new_address_round(new_rn=False)
+
+    def reset_state(self) -> None:
+        """Crash support: forget all DAD/registration state (cold boot).
+
+        Cancels the round timer and clears joiner state and flood-dedup
+        sets.  The ``on_configured``/``on_failed`` callback lists are
+        deliberately kept: they are harness-level wiring (metrics,
+        experiment orchestration), not protocol soft state.
+        """
+        self._timer.cancel()
+        self.state = "idle"
+        self.tentative_ip = None
+        self._tentative_params = None
+        self.pending_ch = None
+        self.pending_seq = None
+        self.requested_name = ""
+        self.round = 0
+        self._seen_areqs.clear()
+        self._seen_warnings.clear()
+
     def _new_address_round(self, new_rn: bool) -> None:
         """Launch one DAD round; ``new_rn`` redraws the address modifier."""
         self.round += 1

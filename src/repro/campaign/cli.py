@@ -25,7 +25,9 @@ trends   Render cross-campaign history (``BENCH_*.json`` scorecards +
          ``--html FILE`` additionally writes a static HTML export.
 compare  Diff two results files; exit 1 when regressions are found.
 
-Exit codes: 0 ok; 1 regression detected; 2 bad input; 3 runs failed.
+Exit codes: 0 ok; 1 regression detected; 2 bad input; 3 runs failed;
+128+signum when a run/resume was interrupted by SIGINT/SIGTERM (the
+checkpoint is flushed first, so ``resume`` finishes the campaign).
 """
 
 from __future__ import annotations
@@ -43,7 +45,7 @@ from repro.campaign.aggregate import (
     report_text,
 )
 from repro.campaign.baseline import compare, comparison_text
-from repro.campaign.runner import CampaignRunner
+from repro.campaign.runner import CampaignInterrupted, CampaignRunner
 from repro.campaign.spec import CampaignSpec
 
 
@@ -279,6 +281,11 @@ def main(argv: list[str] | None = None) -> int:
 
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
+    except CampaignInterrupted as exc:
+        # Graceful SIGINT/SIGTERM shutdown: the checkpoint is flushed;
+        # exit with the conventional 128+signum so wrappers see the kill.
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 128 + exc.signum
     except FileNotFoundError as exc:
         print(f"error: {exc.filename or exc}: no such file", file=sys.stderr)
         return 2

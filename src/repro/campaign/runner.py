@@ -26,7 +26,15 @@ Isolation guarantees:
   run index before finalizing.
 * **Failure isolation** -- an exception inside one run produces an
   ``"error"`` record; the rest of the matrix (including the failing
-  run's batchmates) still completes.
+  run's batchmates) still completes.  A run that *kills its worker*
+  (OOM, segfault) is re-executed alone with bounded exponential
+  backoff; one that keeps killing workers is recorded as
+  ``"quarantined"`` and diagnosed in ``quarantine.jsonl`` instead of
+  failing the campaign.
+* **Interrupt isolation** -- SIGINT/SIGTERM stop dispatch gracefully:
+  in-flight batches are abandoned (noted in telemetry), the streaming
+  checkpoint is flushed, and :class:`CampaignInterrupted` propagates so
+  ``campaign resume`` can finish the matrix byte-identically.
 * **Timeout isolation** -- each run arms its *own* wall-clock deadline
   (``SIGALRM``), re-armed per run inside a batch, so a runaway run
   yields a ``"timeout"`` record without eating its batchmates' budget.
@@ -78,6 +86,24 @@ _ADDRESS_KWARGS = {"fake_answer", "spoof_hop_ip"}
 
 class RunTimeout(Exception):
     """A run exceeded its wall-clock budget."""
+
+
+class CampaignInterrupted(Exception):
+    """The campaign was stopped by a signal after a graceful checkpoint.
+
+    Raised out of :meth:`CampaignRunner.run`/``resume`` once the
+    streaming ``results.jsonl`` checkpoint is flushed and closed, so the
+    caller can exit with the conventional ``128 + signum`` status and a
+    later ``campaign resume`` picks up exactly where dispatch stopped.
+    """
+
+    def __init__(self, signum: int):
+        self.signum = int(signum)
+        name = signal.Signals(self.signum).name
+        super().__init__(
+            f"campaign interrupted by {name}; checkpoint flushed -- "
+            "finish it with 'campaign resume'"
+        )
 
 
 @contextmanager
@@ -331,6 +357,72 @@ def _worker_death_record(payload: dict, exc: Exception) -> dict:
     }
 
 
+def _quarantine_record(payload: dict, exc: Exception, attempts: int) -> dict:
+    """Results record for a run that exhausted its worker-death retries."""
+    record = _worker_death_record(payload, exc)
+    record["status"] = "quarantined"
+    record["attempts"] = int(attempts)
+    return record
+
+
+#: Required fields of one ``quarantine.jsonl`` diagnostic line.
+_QUARANTINE_FIELDS = {
+    "run_id": str,
+    "index": int,
+    "seed": int,
+    "params": dict,
+    "attempts": int,
+    "error": str,
+}
+
+
+def validate_quarantine_file(path) -> int:
+    """Validate every line of a ``quarantine.jsonl``; returns the count.
+
+    Each line is one quarantined run's diagnostic: identification
+    fields, the total attempt budget it exhausted, and the final
+    worker-death error.  Raises ``ValueError`` on the first malformed
+    line.  The CI chaos gate uses this to schema-check quarantine
+    sidecars the same way telemetry files are checked.
+    """
+    count = 0
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}: line {lineno}: {exc}") from exc
+            if not isinstance(entry, dict):
+                raise ValueError(
+                    f"{path}: line {lineno}: quarantine entry must be an "
+                    f"object, got {type(entry).__name__}"
+                )
+            for name, expected in _QUARANTINE_FIELDS.items():
+                if name not in entry:
+                    raise ValueError(
+                        f"{path}: line {lineno}: missing field {name!r}"
+                    )
+                value = entry[name]
+                if expected is int:
+                    ok = isinstance(value, int) and not isinstance(value, bool)
+                else:
+                    ok = isinstance(value, expected)
+                if not ok:
+                    raise ValueError(
+                        f"{path}: line {lineno}: field {name!r} must be "
+                        f"{expected.__name__}, got {type(value).__name__}"
+                    )
+            if entry["attempts"] < 1:
+                raise ValueError(
+                    f"{path}: line {lineno}: attempts must be >= 1"
+                )
+            count += 1
+    return count
+
+
 class CampaignRunner:
     """Batched, streaming, resumable executor for a :class:`CampaignSpec`.
 
@@ -382,6 +474,8 @@ class CampaignRunner:
         self._started = None
         self._done_at_start = 0
         self._retries = 0
+        self._stop_signal = None
+        self._abandoned: list[int] = []
 
     # -- public entry points --------------------------------------------
     def run(self) -> list[dict]:
@@ -428,11 +522,15 @@ class CampaignRunner:
         """Spec dict minus execution/reporting-only keys.
 
         ``batch_size`` never changes results; ``summary_mode`` only
-        changes how reports reduce them.  Neither may block a resume.
+        changes how reports reduce them; the retry knobs govern how hard
+        the runner fights worker death, not what a run computes.  None
+        of them may block a resume.
         """
         data = dict(data)
         data.pop("batch_size", None)
         data.pop("summary_mode", None)
+        data.pop("retry_max_attempts", None)
+        data.pop("retry_backoff", None)
         return data
 
     def _check_spec_provenance(self) -> None:
@@ -500,8 +598,24 @@ class CampaignRunner:
         self._started = time.perf_counter()
         self._done_at_start = len(existing)
         self._retries = 0
+        self._stop_signal = None
+        self._abandoned = []
         records = list(existing)
         stream = self._open_stream(existing)
+        # Graceful shutdown: SIGINT/SIGTERM set a flag checked between
+        # batches instead of tearing the process down mid-write, so the
+        # streaming checkpoint always closes cleanly and `campaign
+        # resume` picks up from it.  Main thread only (signal() rule);
+        # previous handlers are restored on the way out.
+        previous_handlers = {}
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    previous_handlers[signum] = signal.signal(
+                        signum, self._request_stop
+                    )
+                except (OSError, ValueError):
+                    pass
         if self.telemetry:
             from repro.obs.telemetry import TelemetryTracker
 
@@ -522,6 +636,8 @@ class CampaignRunner:
                           for i in range(0, len(pending), batch)]
                 if self.workers <= 1:
                     for chunk in chunks:
+                        if self._stop_signal is not None:
+                            break
                         if self._telemetry is None:
                             self._ingest(execute_batch(chunk), records, stream)
                         else:
@@ -530,6 +646,18 @@ class CampaignRunner:
                             self._batch_telemetry(outcome)
                 else:
                     self._dispatch(chunks, records, stream)
+            if self._stop_signal is not None:
+                if self._telemetry is not None:
+                    self._telemetry.abandoned(
+                        signal.Signals(self._stop_signal).name,
+                        in_flight=self._abandoned,
+                        done=self._counts["ok"] + self._counts["failed"],
+                        total=self._total,
+                    )
+                # Raised inside the try so the finally below closes the
+                # stream/telemetry; sorting + finalize are skipped -- the
+                # streamed checkpoint is the resumable artifact.
+                raise CampaignInterrupted(self._stop_signal)
             if self._telemetry is not None:
                 self._telemetry.finish(
                     runs=len(records),
@@ -541,6 +669,8 @@ class CampaignRunner:
                     wall_s=time.perf_counter() - self._started,
                 )
         finally:
+            for signum, handler in previous_handlers.items():
+                signal.signal(signum, handler)
             if stream is not None:
                 stream.close()
             if self._telemetry is not None:
@@ -551,13 +681,23 @@ class CampaignRunner:
             self._finalize(records)
         return records
 
+    def _request_stop(self, signum, frame) -> None:
+        """Signal handler: note the stop request, let dispatch unwind."""
+        if self._stop_signal is None:
+            self._say(
+                f"received {signal.Signals(signum).name}: finishing "
+                "in-flight work, then flushing the checkpoint"
+            )
+        self._stop_signal = signum
+
     def _batch_telemetry(self, outcome: dict, retried: bool = False) -> None:
         """Emit one ``batch`` telemetry record for a completed outcome."""
         batch_records = outcome["records"]
         ok = sum(1 for r in batch_records if r["status"] == "ok")
-        # Crypto load of the batch, from the ok runs' frozen summaries
-        # (deterministic per-run data, surfaced here so operators can
-        # watch sign/verify/cache pressure batch by batch).
+        # Crypto and fault-injection load of the batch, from the ok
+        # runs' frozen summaries (deterministic per-run data, surfaced
+        # here so operators can watch sign/verify/cache pressure and
+        # chaos churn batch by batch).
         summaries = [r["summary"] for r in batch_records if r["status"] == "ok"]
         self._telemetry.batch(
             runs=len(batch_records),
@@ -573,54 +713,138 @@ class CampaignRunner:
             crypto_verify_cache_hits=sum(
                 s.get("crypto_verify_cache_hits", 0) for s in summaries
             ),
+            faults_injected=sum(
+                s.get("faults_injected", 0) for s in summaries
+            ),
+            re_dad_count=sum(s.get("re_dad_count", 0) for s in summaries),
         )
 
     def _dispatch(self, chunks: list[list[dict]], records: list[dict],
                   stream) -> None:
-        """Run batches across the pool; stream results as they complete."""
+        """Run batches across the pool; stream results as they complete.
+
+        Worker death (OOM-kill, segfault) breaks the whole pool -- every
+        pending future fails with it -- so affected runs are collected
+        and re-executed afterwards by :meth:`_retry_orphan`, each alone
+        in a fresh single-worker pool with bounded exponential backoff.
+        A stop signal breaks the wait loop between completions: batches
+        still running in workers finish there but are *not* ingested;
+        their runs are reported as the ``abandoned`` telemetry record's
+        ``in_flight`` list and re-executed by ``campaign resume``.
+        """
         context = multiprocessing.get_context()
         task = execute_batch if self._telemetry is None else _timed_execute_batch
-        orphaned = []  # runs whose worker died (their pool became unusable)
-        with concurrent.futures.ProcessPoolExecutor(
+        orphaned = []  # (payload, exc) whose worker died mid-batch
+        pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=min(self.workers, len(chunks)), mp_context=context
-        ) as pool:
+        )
+        futures = {}
+        not_done: set = set()
+        try:
             futures = {pool.submit(task, c): c for c in chunks}
-            for future in concurrent.futures.as_completed(futures):
-                try:
-                    outcome = future.result()
-                except Exception:  # worker died (OOM-kill, segfault): the
-                    # pool is broken and every pending future fails with it;
-                    # execute_batch can't catch process death from inside
-                    orphaned.extend(futures[future])
-                    continue
-                if self._telemetry is None:
-                    self._ingest(outcome, records, stream)
-                else:
-                    self._ingest(outcome["records"], records, stream)
-                    self._batch_telemetry(outcome)
-        # Retry each orphan in its own fresh single-worker pool: innocent
-        # batchmates and bystanders of the breakage complete normally, and
-        # the run that actually kills its worker only takes its private
-        # pool with it.
-        for payload in sorted(orphaned, key=lambda p: p["index"]):
-            retry_started = time.perf_counter()
+            not_done = set(futures)
+            while not_done and self._stop_signal is None:
+                # Short-timeout wait instead of as_completed so a stop
+                # signal is noticed promptly even while batches run.
+                done, not_done = concurrent.futures.wait(
+                    not_done, timeout=0.2,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    try:
+                        outcome = future.result()
+                    except Exception as exc:  # worker died: the pool is
+                        # broken and every pending future fails with it;
+                        # execute_batch can't catch process death inside
+                        orphaned.extend((p, exc) for p in futures[future])
+                        continue
+                    if self._telemetry is None:
+                        self._ingest(outcome, records, stream)
+                    else:
+                        self._ingest(outcome["records"], records, stream)
+                        self._batch_telemetry(outcome)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        if self._stop_signal is not None:
+            self._abandoned.extend(
+                p["index"] for future in not_done for p in futures[future]
+            )
+            self._abandoned.extend(p["index"] for p, _exc in orphaned)
+            return
+        for payload, exc in sorted(orphaned, key=lambda pair: pair[0]["index"]):
+            self._retry_orphan(payload, exc, context, records, stream)
+
+    def _retry_orphan(self, payload: dict, death: Exception, context,
+                      records: list[dict], stream) -> None:
+        """Re-execute a worker-death orphan with bounded backoff.
+
+        Innocent batchmates die with a poison run's worker, so each
+        orphan is retried alone in a fresh single-worker pool -- only
+        the run that actually kills workers keeps failing.  Attempts
+        are bounded by ``spec.retry_max_attempts`` (*total*, counting
+        the original dispatch) with ``retry_backoff * 2**(n-1)`` sleeps
+        between them.  A run that exhausts the budget gets a
+        ``"quarantined"`` record (campaign still completes) and an
+        fsync'd diagnostic line in ``quarantine.jsonl``.
+        """
+        last_exc = death
+        retry_started = time.perf_counter()
+        for retry in range(1, self.spec.retry_max_attempts):
+            if self._stop_signal is not None:
+                self._abandoned.append(payload["index"])
+                return
+            delay = self.spec.retry_backoff * (2 ** (retry - 1))
+            if delay > 0:
+                time.sleep(delay)
+            self._retries += 1
             try:
                 with concurrent.futures.ProcessPoolExecutor(
                     max_workers=1, mp_context=context
                 ) as retry_pool:
                     record = retry_pool.submit(execute_run, payload).result()
             except Exception as exc:
-                record = _worker_death_record(payload, exc)
-            self._retries += 1
-            self._ingest([record], records, stream, suffix=" (retried)")
+                last_exc = exc
+                continue
+            self._ingest([record], records, stream,
+                         suffix=f" (retry {retry})")
             if self._telemetry is not None:
-                # the retry pool's worker pid is gone with the pool; report
-                # the coordinating process instead
+                # the retry pool's worker pid is gone with the pool;
+                # report the coordinating process instead
                 self._batch_telemetry({
                     "records": [record],
                     "wall_s": time.perf_counter() - retry_started,
                     "worker_pid": os.getpid(),
                 }, retried=True)
+            return
+        record = _quarantine_record(payload, last_exc,
+                                    self.spec.retry_max_attempts)
+        self._quarantine(record)
+        self._ingest([record], records, stream, suffix=" (quarantined)")
+        if self._telemetry is not None:
+            self._batch_telemetry({
+                "records": [record],
+                "wall_s": time.perf_counter() - retry_started,
+                "worker_pid": os.getpid(),
+            }, retried=True)
+
+    def _quarantine(self, record: dict) -> None:
+        """Append an fsync'd diagnostic line to ``quarantine.jsonl``."""
+        if self.out_dir is None:
+            return
+        path = os.path.join(self.out_dir, "quarantine.jsonl")
+        entry = {
+            "run_id": record["run_id"],
+            "index": record["index"],
+            "seed": record["seed"],
+            "params": record["params"],
+            "attempts": record["attempts"],
+            "error": record["error"],
+        }
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._say(f"quarantined {record['run_id']} -> {path}")
 
     def _ingest(self, batch_records: list[dict], records: list[dict],
                 stream, suffix: str = "") -> None:

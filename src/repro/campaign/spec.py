@@ -47,7 +47,7 @@ _DEFAULT_BOOTSTRAP = {"stagger": 0.25}
 _KNOWN_KEYS = {
     "name", "seed", "replicates", "base", "axes", "samples",
     "workload", "adversaries", "bootstrap", "duration", "timeout",
-    "batch_size", "summary_mode",
+    "batch_size", "summary_mode", "retry_max_attempts", "retry_backoff",
 }
 
 
@@ -114,6 +114,14 @@ class CampaignSpec:
     #: P^2 estimators -- see :mod:`repro.obs.sketch`).  Reporting-only:
     #: never changes ``results.jsonl``, so it is resume-compatible.
     summary_mode: str = "exact"
+    #: Total execution attempts per run when a worker *dies* mid-batch
+    #: (original + retries).  Execution-only (like batch_size): a run
+    #: whose retry eventually succeeds produces its canonical record;
+    #: one that exhausts the budget is quarantined.  In-process
+    #: exceptions are deterministic and never retried.
+    retry_max_attempts: int = 3
+    #: Base sleep (seconds) before retry n: retry_backoff * 2**(n-1).
+    retry_backoff: float = 0.5
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -138,11 +146,17 @@ class CampaignSpec:
             batch_size=(int(data["batch_size"])
                         if data.get("batch_size") is not None else None),
             summary_mode=str(data.get("summary_mode", "exact")),
+            retry_max_attempts=int(data.get("retry_max_attempts", 3)),
+            retry_backoff=float(data.get("retry_backoff", 0.5)),
         )
         if spec.replicates < 1:
             raise ValueError("replicates must be >= 1")
         if spec.batch_size is not None and spec.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if spec.retry_max_attempts < 1:
+            raise ValueError("retry_max_attempts must be >= 1")
+        if spec.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
         if spec.summary_mode not in ("exact", "sketch"):
             raise ValueError(
                 f"summary_mode must be 'exact' or 'sketch', "
@@ -173,6 +187,8 @@ class CampaignSpec:
             "timeout": self.timeout,
             "batch_size": self.batch_size,
             "summary_mode": self.summary_mode,
+            "retry_max_attempts": self.retry_max_attempts,
+            "retry_backoff": self.retry_backoff,
         }
 
     # -- expansion -------------------------------------------------------

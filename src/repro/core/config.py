@@ -78,6 +78,11 @@ class NodeConfig:
     #: Wait for RREP before retrying discovery.
     rreq_timeout: float = 2.0
     rreq_max_retries: int = 3
+    #: Per-retry multiplier on rreq_timeout: retry n waits
+    #: rreq_timeout * rreq_backoff**n, spreading rediscovery storms out
+    #: after a crash or partition.  The default 1.0 is a float-exact
+    #: no-op (x * 1.0**n == x), preserving pre-existing timings.
+    rreq_backoff: float = 1.0
     #: A destination answers up to this many copies of one RREQ (each
     #: copy arrives over a different path, so each reply offers the
     #: source a distinct candidate route -- DSR behaviour, bounded).
@@ -96,6 +101,15 @@ class NodeConfig:
     route_cache_capacity: int = 64
     #: Entries expire after this long (stale MANET routes are poison).
     route_cache_ttl: float = 60.0
+
+    # -- DNS client ----------------------------------------------------------------
+    #: Re-send a timed-out DNS query this many times before reporting
+    #: failure to the caller.  0 (the default) keeps the historical
+    #: single-shot behaviour byte-for-byte.
+    dns_query_retries: int = 0
+    #: Per-retry multiplier on the query timeout (retry n waits
+    #: timeout * dns_query_backoff**n).
+    dns_query_backoff: float = 2.0
 
     # -- data plane ----------------------------------------------------------------
     #: End-to-end ACK wait before the source declares the packet lost.

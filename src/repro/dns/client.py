@@ -34,8 +34,8 @@ class DNSClient:
         self.cfg = node.config
         self._rng = node.rng("dns-client")
         self.server_address = server_address or DNS_ANYCAST_ADDRESSES[0]
-        # ch -> (name, callback, timer) for queries in flight
-        self._pending_queries: dict[int, tuple[str, Callable, Timer]] = {}
+        # ch -> (name, callback, timer, timeout, retries) for queries in flight
+        self._pending_queries: dict[int, tuple] = {}
         # name -> (new_ip_params, callback) for IP changes in flight
         self._pending_updates: dict[str, tuple] = {}
 
@@ -57,12 +57,23 @@ class DNSClient:
         The query carries a fresh challenge; only a response signed by
         the DNS key *over that challenge* is accepted, so replayed old
         answers (e.g. for a name whose binding has moved) are rejected.
+
+        With ``config.dns_query_retries > 0`` a timed-out query is
+        re-sent (fresh challenge, timeout scaled by
+        ``dns_query_backoff`` per attempt) before the caller sees the
+        failure -- riding out transient partitions and route outages.
         """
+        self._send_query(name, callback, timeout, 0)
+
+    def _send_query(
+        self, name: str, callback: Callable, timeout: float, retries: int
+    ) -> None:
         ch = self._rng.nonce(64)
         query = DNSQuery(sip=self.node.ip, domain_name=name, ch=ch)
         timer = Timer(self.node.sim, self._query_timeout, ch)
-        timer.start(timeout)
-        self._pending_queries[ch] = (name, callback, timer)
+        # retries == 0 waits exactly `timeout` (x * b**0 is float-exact).
+        timer.start(timeout * (self.cfg.dns_query_backoff ** retries))
+        self._pending_queries[ch] = (name, callback, timer, timeout, retries)
         self._send_app(query)
 
     def _send_app(self, app_msg) -> None:
@@ -73,15 +84,32 @@ class DNSClient:
 
     def _query_timeout(self, ch: int) -> None:
         entry = self._pending_queries.pop(ch, None)
-        if entry is not None:
-            self.node.verdict("dns_client.query_timeout")
-            entry[1](None)
+        if entry is None:
+            return
+        name, callback, _timer, timeout, retries = entry
+        if retries < self.cfg.dns_query_retries:
+            self.node.verdict("dns_client.query_retry")
+            self._send_query(name, callback, timeout, retries + 1)
+            return
+        self.node.verdict("dns_client.query_timeout")
+        callback(None)
+
+    def reset_state(self) -> None:
+        """Crash support: drop every in-flight query and update.
+
+        Pending timers are cancelled and callbacks are *not* invoked --
+        the application layer that registered them died with the host.
+        """
+        for entry in self._pending_queries.values():
+            entry[2].cancel()
+        self._pending_queries.clear()
+        self._pending_updates.clear()
 
     def _on_response(self, msg: DNSResponse, packet: DataPacket) -> None:
         entry = self._pending_queries.get(msg.ch)
         if entry is None:
             return  # unsolicited or already answered
-        name, callback, timer = entry
+        name, callback, timer = entry[0], entry[1], entry[2]
         dns_pk = self.node.ctx.dns_public_key
         payload = signing.dns_response_payload(msg.domain_name, msg.ip, msg.ch)
         if (

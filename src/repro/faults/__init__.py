@@ -1,0 +1,6 @@
+"""Deterministic, seeded fault injection (see :mod:`repro.faults.plan`)."""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultInjector", "FaultPlan"]

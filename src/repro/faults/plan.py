@@ -1,0 +1,154 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a JSON-clean list of fault events, each a plain
+dict with a ``kind``, a firing time ``at`` (seconds after the plan is
+armed -- the scenario arms it when bootstrap settles, so fault times
+read as "into the workload"), and kind-specific knobs:
+
+``crash``
+    Power a host off mid-run with **full state loss**: radio disabled,
+    identity and neighbour cache wiped, every protocol component's
+    timers cancelled and tables cleared.  ``recover_after`` (optional)
+    powers it back on that many seconds later; the host then cold-boots
+    through secure DAD again (a fresh CGA, re-registration of its old
+    name if it had one).
+``link_flap``
+    Block the link between two hosts (both directions) for
+    ``duration`` seconds.  The MAC sees it as silence: unicast retries
+    exhaust, DSR declares the link broken and re-routes.
+``partition``
+    Split the network into ``groups`` seeded groups (or an explicit
+    ``members`` assignment) for ``duration`` seconds; frames between
+    groups are suppressed.  On heal, configured hosts optimistically
+    re-run DAD (``reprobe``, staggered by ``reprobe_stagger``) -- the
+    paper's DAD-storm-on-merge scenario.
+``loss_surge``
+    Add an extra Bernoulli drop with probability ``loss`` to every
+    (frame, receiver) pair for ``duration`` seconds, composing with the
+    medium's base loss rate.
+``corrupt``
+    With probability ``rate`` per (frame, receiver), flip the payload's
+    signature bytes in flight for ``duration`` seconds (frames whose
+    payload carries no signature are dropped instead) -- the crypto
+    layer must reject every corrupted copy.
+
+Host references (``node``, ``a``, ``b``, ``members`` entries) are host
+indices (``0`` = ``hosts[0]``) or node names (``"n0"``).
+
+Determinism: all fault randomness (seeded partition groups, surge and
+corruption draws) comes from dedicated ``faults/*`` RNG streams, so a
+plan never perturbs the ``phy/loss`` or protocol streams -- and a run
+with no plan is byte-identical to one built before this module existed.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+#: Allowed keys per event kind (beyond ``kind``/``at``); a typo'd knob in
+#: a campaign axis must error, not silently inject nothing.
+_EVENT_KEYS: dict[str, set[str]] = {
+    "crash": {"node", "recover_after"},
+    "link_flap": {"a", "b", "duration"},
+    "partition": {"duration", "groups", "members", "reprobe", "reprobe_stagger"},
+    "loss_surge": {"duration", "loss"},
+    "corrupt": {"duration", "rate"},
+}
+
+_REQUIRED_KEYS: dict[str, set[str]] = {
+    "crash": {"node"},
+    "link_flap": {"a", "b", "duration"},
+    "partition": {"duration"},
+    "loss_surge": {"duration", "loss"},
+    "corrupt": {"duration", "rate"},
+}
+
+
+def _validate_event(position: int, event: dict) -> dict:
+    if not isinstance(event, dict):
+        raise ValueError(f"fault event {position} must be a dict, got "
+                         f"{type(event).__name__}")
+    kind = event.get("kind")
+    if kind not in _EVENT_KEYS:
+        raise ValueError(
+            f"fault event {position}: unknown kind {kind!r} "
+            f"(expected one of {sorted(_EVENT_KEYS)})"
+        )
+    if "at" not in event:
+        raise ValueError(f"fault event {position} ({kind}): missing 'at'")
+    unknown = set(event) - _EVENT_KEYS[kind] - {"kind", "at"}
+    if unknown:
+        raise ValueError(
+            f"fault event {position} ({kind}): unknown keys "
+            f"{sorted(unknown)} (allowed: {sorted(_EVENT_KEYS[kind])})"
+        )
+    missing = _REQUIRED_KEYS[kind] - set(event)
+    if missing:
+        raise ValueError(
+            f"fault event {position} ({kind}): missing keys {sorted(missing)}"
+        )
+    if float(event["at"]) < 0:
+        raise ValueError(f"fault event {position} ({kind}): 'at' must be >= 0")
+    for key in ("duration", "recover_after", "reprobe_stagger"):
+        if key in event and float(event[key]) < 0:
+            raise ValueError(
+                f"fault event {position} ({kind}): {key!r} must be >= 0"
+            )
+    if kind == "loss_surge" and not 0.0 <= float(event["loss"]) < 1.0:
+        raise ValueError(
+            f"fault event {position}: 'loss' must be in [0, 1)"
+        )
+    if kind == "corrupt" and not 0.0 <= float(event["rate"]) <= 1.0:
+        raise ValueError(
+            f"fault event {position}: 'rate' must be in [0, 1]"
+        )
+    if kind == "partition":
+        if int(event.get("groups", 2)) < 2:
+            raise ValueError(f"fault event {position}: 'groups' must be >= 2")
+        members = event.get("members")
+        if members is not None and (
+            not isinstance(members, list)
+            or not all(isinstance(g, list) for g in members)
+            or len(members) < 2
+        ):
+            raise ValueError(
+                f"fault event {position}: 'members' must be a list of >= 2 "
+                "lists of host references"
+            )
+    return copy.deepcopy(event)
+
+
+@dataclass
+class FaultPlan:
+    """A validated, JSON-clean list of fault events (see module docstring)."""
+
+    events: list[dict] = field(default_factory=list)
+
+    def __post_init__(self):
+        self.events = [
+            _validate_event(i, e) for i, e in enumerate(self.events)
+        ]
+
+    @classmethod
+    def from_spec(cls, spec) -> "FaultPlan":
+        """Build from the serialized form: ``{"events": [...]}``
+        (or a bare event list)."""
+        if isinstance(spec, FaultPlan):
+            return cls(events=copy.deepcopy(spec.events))
+        if isinstance(spec, list):
+            return cls(events=spec)
+        if not isinstance(spec, dict):
+            raise ValueError(
+                f"fault spec must be a dict or list, got {type(spec).__name__}"
+            )
+        unknown = set(spec) - {"events"}
+        if unknown:
+            raise ValueError(f"unknown fault spec keys: {sorted(unknown)}")
+        return cls(events=list(spec.get("events", [])))
+
+    def to_spec(self) -> dict:
+        return {"events": copy.deepcopy(self.events)}
+
+    def __bool__(self) -> bool:
+        return bool(self.events)

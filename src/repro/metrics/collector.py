@@ -131,6 +131,9 @@ class MetricsCollector:
         # opt-in crypto fast-path instrumentation, same pattern
         # (attached by Scenario.enable_crypto_stats)
         self._crypto_stats_provider = None
+        # opt-in fault-injection columns, same pattern (attached by
+        # ScenarioBuilder.build when the fault plan has events)
+        self._fault_stats_provider = None
 
     @property
     def encode_calls(self) -> int:
@@ -189,6 +192,20 @@ class MetricsCollector:
         explicitly attached and are never byte-compared.
         """
         self._crypto_stats_provider = provider
+
+    def attach_fault_stats(self, provider) -> None:
+        """Surface fault-injection outcomes in :meth:`summary` (opt-in).
+
+        ``provider`` is a zero-arg callable returning a *flat numeric*
+        dict (typically ``FaultInjector.stats``: faults_injected,
+        crash/recovery counts, re_dad_count, recovery_time_mean/max,
+        availability, suppressed/corrupted frame counts) merged into the
+        top-level summary so the campaign aggregator folds the columns
+        like any others.  Attached only when a scenario's fault plan has
+        events, so fault-free summaries stay byte-identical to pre-fault
+        builds.
+        """
+        self._fault_stats_provider = provider
 
     # -- message accounting ------------------------------------------------
     def on_send(self, msg_name: str, size: int) -> None:
@@ -350,6 +367,8 @@ class MetricsCollector:
             "creps_used": self.creps_used,
             "rerrs_received": self.rerrs_received,
         }
+        if self._fault_stats_provider is not None:
+            out.update(self._fault_stats_provider())
         if self._kernel_stats_provider is not None:
             out["kernel_stats"] = self._kernel_stats_provider()
         if self._crypto_stats_provider is not None:

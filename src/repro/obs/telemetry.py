@@ -22,7 +22,9 @@ import os
 
 #: Bumped whenever the record layout changes incompatibly; every record
 #: carries it as ``"v"`` so consumers can reject files they don't speak.
-TELEMETRY_SCHEMA_VERSION = 1
+#: v2: batch records gained fault counters (faults_injected,
+#: re_dad_count); new ``abandoned`` kind written on graceful shutdown.
+TELEMETRY_SCHEMA_VERSION = 2
 
 #: Required fields per record kind (beyond the ``v``/``kind`` envelope).
 _SCHEMA = {
@@ -52,6 +54,21 @@ _SCHEMA = {
         "crypto_sign_ops": int,
         "crypto_verify_ops": int,
         "crypto_verify_cache_hits": int,
+        # Fault-injection work over the batch's ok runs, same contract.
+        "faults_injected": int,
+        "re_dad_count": int,
+    },
+    # Written on SIGINT/SIGTERM graceful shutdown, after the last
+    # ingested batch: the runs that were dispatched but never landed.
+    # Distinguishes a torn tail (in_flight non-empty) from a campaign
+    # that was stopped between batches -- `campaign resume` diagnostics
+    # read this.  An interrupted file ends with `abandoned` instead of
+    # `finish`.
+    "abandoned": {
+        "signal": str,
+        "in_flight": list,
+        "done": int,
+        "total": int,
     },
     "finish": {
         "runs": int,
@@ -91,6 +108,11 @@ def validate_telemetry_record(record: dict) -> None:
             ok = isinstance(value, (int, float)) and not isinstance(value, bool)
         elif expected is int:
             ok = isinstance(value, int) and not isinstance(value, bool)
+        elif expected is list:
+            # Lists of run indices (the `abandoned` record's in_flight).
+            ok = isinstance(value, list) and all(
+                isinstance(v, int) and not isinstance(v, bool) for v in value
+            )
         else:
             ok = isinstance(value, expected)
         if not ok:
@@ -185,7 +207,8 @@ class TelemetryTracker:
               worker_pid: int, done: int, total: int,
               retried: bool = False, crypto_sign_ops: int = 0,
               crypto_verify_ops: int = 0,
-              crypto_verify_cache_hits: int = 0) -> None:
+              crypto_verify_cache_hits: int = 0,
+              faults_injected: int = 0, re_dad_count: int = 0) -> None:
         self._seq += 1
         self._emit({
             "kind": "batch",
@@ -202,6 +225,18 @@ class TelemetryTracker:
             "crypto_sign_ops": int(crypto_sign_ops),
             "crypto_verify_ops": int(crypto_verify_ops),
             "crypto_verify_cache_hits": int(crypto_verify_cache_hits),
+            "faults_injected": int(faults_injected),
+            "re_dad_count": int(re_dad_count),
+        })
+
+    def abandoned(self, signal_name: str, in_flight, done: int, total: int) -> None:
+        """Graceful-shutdown marker: dispatched runs that never landed."""
+        self._emit({
+            "kind": "abandoned",
+            "signal": str(signal_name),
+            "in_flight": sorted(int(i) for i in in_flight),
+            "done": int(done),
+            "total": int(total),
         })
 
     def finish(self, runs: int, ok: int, failed: int, timeouts: int,

@@ -178,10 +178,24 @@ class WirelessMedium:
         #: compute each sender's receiver set and distances once, not
         #: once per frame.
         self._range_cache: dict[int, tuple] = {}
+        #: Optional fault filter: ``hook(src_link, dst_link, frame) ->
+        #: Frame | None``, applied per (frame, receiver) pair *before*
+        #: that receiver's loss draw, in the same ascending-link-id
+        #: order as the draws.  ``None`` suppresses the copy -- and
+        #: consumes NO ``phy/loss`` draw, so installing/removing the
+        #: hook around fault windows never shifts the loss stream for
+        #: unaffected traffic.  A returned frame (possibly a corrupted
+        #: replacement) proceeds to the normal loss draw.  While a hook
+        #: is installed, broadcasts take the scalar path (byte-identical
+        #: to the vectorized one by contract).
+        self.fault_hook: Callable[[int, int, Frame], Frame | None] | None = None
         # Medium-wide counters.
         self.total_frames = 0
         self.total_bytes = 0
         self.dropped_frames = 0
+        #: Copies suppressed by :attr:`fault_hook` (distinct from
+        #: ``dropped_frames``: suppression consumes no loss draw).
+        self.suppressed_frames = 0
 
     # -- attachment ------------------------------------------------------
     def _note(self, text: str) -> None:
@@ -313,6 +327,20 @@ class WirelessMedium:
 
         Returns the number of receivers the frame was *scheduled* to
         (losses still apply per receiver).
+
+        Delivery contract (pinned by tests/test_medium_contract.py): a
+        receiver gets the frame iff it was attached **and enabled at
+        send time** (that decides candidacy and whether it consumes a
+        loss draw) AND is still attached and enabled **at delivery
+        time** (``_deliver`` re-checks; in-flight disable/detach
+        silently eats the copy).  A radio disabled at send time is
+        excluded from the candidate set on *both* pipelines -- the
+        vectorized path's cached CandidateBlock cannot be stale here,
+        because ``set_enabled``/``attach``/``detach``/``set_position``
+        all replace the affected block wholesale and the cache is keyed
+        on block object identity -- so it consumes no ``phy/loss`` draw
+        and re-enabling before the would-be delivery time cannot
+        resurrect the frame.
         """
         sender = self._radios.get(frame.src_link)
         if sender is None or not sender.enabled:
@@ -321,16 +349,23 @@ class WirelessMedium:
         self.total_bytes += frame.size
         sender.frames_sent += 1
         sender.bytes_sent += frame.size
-        if self.vectorized:
+        hook = self.fault_hook
+        if self.vectorized and hook is None:
             return self._broadcast_vectorized(frame, sender)
         count = 0
         for other_id, dist in self._in_range_pairs(frame.src_link):
             count += 1
+            fx = frame
+            if hook is not None:
+                fx = hook(frame.src_link, other_id, frame)
+                if fx is None:
+                    self.suppressed_frames += 1
+                    continue  # no loss draw: see fault_hook contract
             if self._rng.random() < self.loss_rate:
                 self.dropped_frames += 1
                 continue
             delay = self._delivery_delay(frame.size, dist)
-            self.sim.schedule(delay, self._deliver, other_id, frame)
+            self.sim.schedule(delay, self._deliver, other_id, fx)
         return count
 
     def _broadcast_vectorized(self, frame: Frame, sender: RadioHandle) -> int:
@@ -440,28 +475,47 @@ class WirelessMedium:
         # skips the loop entirely; the sorted snapshot is maintained by
         # set_promiscuous, keeping the loss-draw sequence independent of
         # set internals (the index-equivalence determinism contract).
+        hook = self.fault_hook
         if self._promiscuous:
             for snoop in self._promiscuous_sorted:
                 if snoop in (frame.src_link, frame.dst_link):
                     continue
                 if not self.in_range(frame.src_link, snoop):
                     continue
+                sx = frame
+                if hook is not None:
+                    sx = hook(frame.src_link, snoop, frame)
+                    if sx is None:
+                        self.suppressed_frames += 1
+                        continue  # no loss draw (fault_hook contract)
                 if self._rng.random() < self.loss_rate:
                     continue
                 delay = self._delivery_delay(
                     frame.size, self.distance(frame.src_link, snoop)
                 )
-                self.sim.schedule(delay, self._deliver, snoop, frame)
+                self.sim.schedule(delay, self._deliver, snoop, sx)
 
         reachable = self.in_range(frame.src_link, frame.dst_link)
+        fx = frame
+        if reachable and hook is not None:
+            fx = hook(frame.src_link, frame.dst_link, frame)
+            if fx is None:
+                # Suppressed copies look like an out-of-range receiver:
+                # no loss draw, and the MAC walks its retry budget -- so
+                # a partitioned/flapped link degrades into the normal
+                # "link broken" signal DSR route maintenance expects.
+                self.suppressed_frames += 1
+                reachable = False
         lost = reachable and self._rng.random() < self.loss_rate
         if reachable and not lost:
             delay = self._delivery_delay(
                 frame.size, self.distance(frame.src_link, frame.dst_link)
             )
-            self.sim.schedule(delay, self._deliver, frame.dst_link, frame)
+            self.sim.schedule(delay, self._deliver, frame.dst_link, fx)
             if on_success is not None:
-                # MAC ack arrives one round trip later.
+                # MAC ack arrives one round trip later.  The callback
+                # gets the *sent* frame: corruption happens in flight,
+                # the sender's MAC still sees its ack.
                 self.sim.schedule(delay + self.proc_delay, on_success, frame)
             return
         if lost:
@@ -475,6 +529,9 @@ class WirelessMedium:
             self.sim.schedule(self.ack_timeout, on_fail, frame)
 
     def _deliver(self, link_id: int, frame: Frame) -> None:
+        """Delivery-time half of the contract pinned on :meth:`broadcast`:
+        a receiver that detached or disabled while the frame was in
+        flight silently eats the copy, even if it re-enables later."""
         radio = self._radios.get(link_id)
         if radio is None or not radio.enabled:
             return  # receiver left/slept while the frame was in flight

@@ -129,6 +129,40 @@ class SecureDSRRouter:
         node.register_handler(DataPacket, self._on_data)
         node.register_handler(AckPacket, self._on_ack)
 
+    def reset_state(self) -> None:
+        """Crash support: drop all routing soft state (cold boot).
+
+        Cancels pending discovery/ACK timers without firing their
+        callbacks, clears every table (route cache, dedup sets, send
+        queue, probe sessions) and resets credit history -- a rebooted
+        host trusts nobody any more than a fresh one does.  Survivors'
+        state is untouched: their routes *through* the crashed node die
+        the normal way, via MAC failure -> RERR -> cache invalidation.
+        """
+        for disc in self._pending_discovery.values():
+            if disc.timer:
+                disc.timer.cancel()
+        for pending in self._pending_acks.values():
+            if pending.timer:
+                pending.timer.cancel()
+        self._pending_discovery.clear()
+        self._pending_acks.clear()
+        self._seen_rreqs.clear()
+        self._rreq_replies.clear()
+        self._recent_discoveries.clear()
+        self._send_queue.clear()
+        self._route_failures.clear()
+        self._probes.clear()
+        self._delivered_seqs.clear()
+        self.cache.clear()
+        self.credits = CreditManager(
+            initial=self.cfg.credit_initial,
+            reward=self.cfg.credit_reward,
+            penalty=self.cfg.credit_penalty,
+            rerr_window=self.cfg.rerr_window,
+            rerr_threshold=self.cfg.rerr_suspicion_threshold,
+        )
+
     # ------------------------------------------------------------------
     # small helpers
     # ------------------------------------------------------------------
@@ -262,7 +296,11 @@ class SecureDSRRouter:
         )
         self._seen_rreqs.add((rreq.sip, rreq.seq))
         self.node.broadcast(rreq)
-        disc.timer.start(self.cfg.rreq_timeout)
+        # Retry n waits rreq_timeout * backoff**n; the default backoff of
+        # 1.0 is float-exact, so historical runs are byte-identical.
+        disc.timer.start(
+            self.cfg.rreq_timeout * (self.cfg.rreq_backoff ** disc.retries)
+        )
 
     def _discovery_timeout(self, dst: IPv6Address) -> None:
         disc = self._pending_discovery.get(dst)

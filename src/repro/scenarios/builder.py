@@ -24,6 +24,7 @@ from repro.core.context import NetContext
 from repro.core.node import Node
 from repro.dns.client import DNSClient
 from repro.dns.server import DNSServer
+from repro.faults import FaultInjector, FaultPlan
 from repro.ipv6.address import IPv6Address
 from repro.ipv6.cga import generate_cga
 from repro.metrics.collector import MetricsCollector
@@ -106,6 +107,9 @@ class Scenario:
         self.medium = ctx.medium
         self.dns_node = dns_node
         self.hosts = hosts
+        #: FaultInjector when the builder carried a non-empty fault plan;
+        #: armed automatically at the end of :meth:`bootstrap_all`.
+        self.faults: FaultInjector | None = None
 
     # -- convenient accessors ------------------------------------------------
     @property
@@ -150,6 +154,11 @@ class Scenario:
             cfg = self.hosts[0].config if self.hosts else NodeConfig()
             settle = len(self.hosts) * stagger + cfg.dad_timeout * 3 + 1.0
             self.sim.run(until=self.sim.now + settle)
+        # Arm the fault plan once the network has formed, so event times
+        # read as "seconds into the workload".  Manual flows that skip
+        # bootstrap_all call scenario.faults.arm() themselves.
+        if self.faults is not None and not self.faults.armed:
+            self.faults.arm()
 
     def run(self, until: float | None = None, duration: float | None = None) -> None:
         """Run to absolute time ``until`` or for ``duration`` more seconds."""
@@ -230,6 +239,7 @@ class ScenarioBuilder:
         self._dns_position: tuple[float, float] | None = None
         self._dns_preregistrations: list[tuple[str, IPv6Address]] = []
         self._mobility: dict | None = None
+        self._faults: FaultPlan | None = None
 
     # -- topology -------------------------------------------------------------
     # Topology choices are stored declaratively and materialised in
@@ -425,6 +435,20 @@ class ScenarioBuilder:
         self._dns_preregistrations.append((name, ip))
         return self
 
+    # -- faults ---------------------------------------------------------------------
+    def faults(self, plan) -> "ScenarioBuilder":
+        """Attach a declarative fault plan (see :mod:`repro.faults.plan`).
+
+        ``plan`` is a :class:`FaultPlan`, a ``{"events": [...]}`` dict,
+        or a bare event list; it is validated here so a typo'd campaign
+        axis fails at spec time, not silently mid-sweep.  Event times are
+        relative to the moment the plan is armed (end of
+        ``bootstrap_all``).  A plan with no events is exactly equivalent
+        to no plan: nothing is attached and the run is byte-identical.
+        """
+        self._faults = FaultPlan.from_spec(plan)
+        return self
+
     # -- mobility -------------------------------------------------------------------
     def random_waypoint(
         self, speed: tuple[float, float] = (1.0, 5.0), pause: float = 10.0
@@ -443,7 +467,7 @@ class ScenarioBuilder:
         known = {
             "seed", "topology", "radio", "config", "router",
             "routers_by_name", "dns", "preregister", "mobility",
-            "medium_index", "medium_vectorized",
+            "medium_index", "medium_vectorized", "faults",
         }
         unknown = set(spec) - known
         if unknown:
@@ -513,6 +537,8 @@ class ScenarioBuilder:
                 speed=tuple(mob.get("speed", (1.0, 5.0))),
                 pause=float(mob.get("pause", 10.0)),
             )
+        if spec.get("faults"):
+            builder.faults(spec["faults"])
         return builder
 
     def to_spec(self) -> dict:
@@ -549,6 +575,8 @@ class ScenarioBuilder:
                 "speed": [float(s) for s in self._mobility["speed"]],
                 "pause": float(self._mobility["pause"]),
             }
+        if self._faults is not None and self._faults.events:
+            spec["faults"] = self._faults.to_spec()
         return spec
 
     # -- build -----------------------------------------------------------------------
@@ -590,7 +618,13 @@ class ScenarioBuilder:
             )
             mob.start()
 
-        return Scenario(ctx, dns_node, hosts)
+        scenario = Scenario(ctx, dns_node, hosts)
+        if self._faults is not None and self._faults.events:
+            scenario.faults = FaultInjector(scenario, self._faults)
+            # Fault columns join the summary only when faults exist, so
+            # fault-free runs stay byte-identical to pre-fault builds.
+            ctx.metrics.attach_fault_stats(scenario.faults.stats)
+        return scenario
 
     def _make_node(self, ctx, name, position, router_cls) -> Node:
         node = Node(ctx, name, position, config=self._config)

@@ -332,10 +332,10 @@ def _lethal_execute_run(run):
     return execute_run(run)  # the real one, bound at module import
 
 
-def test_worker_death_yields_error_record_not_campaign_abort(tmp_path):
+def test_worker_death_yields_quarantine_record_not_campaign_abort(tmp_path):
     import repro.campaign.runner as runner_mod
 
-    spec = tiny_spec()
+    spec = tiny_spec(retry_max_attempts=2, retry_backoff=0.0)
     payload_ids = [r.run_id for r in spec.expand()]
     real_execute = runner_mod.execute_run
     runner_mod.execute_run = _lethal_execute_run
@@ -344,13 +344,17 @@ def test_worker_death_yields_error_record_not_campaign_abort(tmp_path):
     finally:
         runner_mod.execute_run = real_execute
     statuses = {r["run_id"]: r["status"] for r in records}
-    # the killer run errors; the innocent bystander is retried and completes
-    assert statuses[payload_ids[0]] == "error"
+    # the killer run exhausts its retry budget and is quarantined; the
+    # innocent bystander is retried and completes
+    assert statuses[payload_ids[0]] == "quarantined"
     assert statuses[payload_ids[1]] == "ok"
-    assert "worker died" in [r for r in records
-                             if r["run_id"] == payload_ids[0]][0]["error"]
-    # results still landed on disk
+    killer = [r for r in records if r["run_id"] == payload_ids[0]][0]
+    assert "worker died" in killer["error"]
+    assert killer["attempts"] == 2
+    # results still landed on disk, plus the quarantine diagnostic
     assert (tmp_path / "out" / "results.jsonl").exists()
+    assert runner_mod.validate_quarantine_file(
+        tmp_path / "out" / "quarantine.jsonl") == 1
 
 
 def test_cli_failed_runs_outrank_regression_exit_code(tmp_path):

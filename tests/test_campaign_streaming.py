@@ -308,18 +308,21 @@ def test_worker_death_inside_a_batch_only_loses_the_lethal_run(
     monkeypatch, tmp_path
 ):
     """One batch holds runs 0..3; run 0 kills the worker.  Its innocent
-    batchmates must be retried and complete; only run 0 errors."""
+    batchmates must be retried and complete; only run 0 is quarantined."""
     monkeypatch.setattr(runner_mod, "execute_run", _lethal_index0_execute_run)
-    spec = CampaignSpec.from_dict(streaming_campaign_dict(replicates=1))
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(
+        replicates=1, retry_max_attempts=2, retry_backoff=0.0))
     out = tmp_path / "out"
     records = run_campaign(spec, workers=2, batch_size=4, out_dir=out)
     statuses = {r["index"]: r["status"] for r in records}
-    assert statuses == {0: "error", 1: "ok", 2: "ok", 3: "ok"}
+    assert statuses == {0: "quarantined", 1: "ok", 2: "ok", 3: "ok"}
     assert "worker died" in records[0]["error"]
+    assert records[0]["attempts"] == 2
     assert [r["index"] for r in records] == [0, 1, 2, 3]  # finalized sorted
     on_disk = [json.loads(line)
                for line in (out / "results.jsonl").read_text().splitlines()]
     assert on_disk == records
+    assert runner_mod.validate_quarantine_file(out / "quarantine.jsonl") == 1
 
 
 # -- batch-safe per-run deadlines --------------------------------------------

@@ -138,12 +138,12 @@ def test_validate_file_enforces_envelope(tmp_path):
             for r in records:
                 fh.write(json.dumps(r) + "\n")
 
-    finish = {"v": 1, "kind": "finish", "runs": 0, "ok": 0, "failed": 0,
-              "timeouts": 0, "retries": 0, "wall_s": 0.1,
-              "runs_per_sec": 0.0}
-    start = {"v": 1, "kind": "start", "campaign": "t", "total_runs": 0,
-             "pending_runs": 0, "workers": 1, "batch_size": 1,
-             "resumed": False}
+    finish = {"v": TELEMETRY_SCHEMA_VERSION, "kind": "finish", "runs": 0,
+              "ok": 0, "failed": 0, "timeouts": 0, "retries": 0,
+              "wall_s": 0.1, "runs_per_sec": 0.0}
+    start = {"v": TELEMETRY_SCHEMA_VERSION, "kind": "start", "campaign": "t",
+             "total_runs": 0, "pending_runs": 0, "workers": 1,
+             "batch_size": 1, "resumed": False}
 
     write([start, finish])
     assert validate_telemetry_file(path) == 2

@@ -1,0 +1,228 @@
+"""Runner robustness (PR 8): bounded worker-death retry, quarantine,
+and SIGINT/SIGTERM graceful shutdown + resume.
+
+Worker death is the one failure ``execute_run`` cannot absorb from the
+inside, so the runner re-executes orphans alone with exponential
+backoff; a run that keeps killing its worker is quarantined (recorded,
+diagnosed in ``quarantine.jsonl``) instead of failing the campaign.  A
+stop signal flushes the streaming checkpoint and raises
+:class:`CampaignInterrupted`; ``resume`` then finishes the matrix with
+artifacts byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from conftest import campaign_artifacts, streaming_campaign_dict
+from repro.campaign import CampaignRunner, CampaignSpec, run_campaign
+from repro.campaign.runner import (
+    CampaignInterrupted,
+    validate_quarantine_file,
+)
+import repro.campaign.runner as runner_mod
+
+_REAL_EXECUTE_RUN = runner_mod.execute_run
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="lethal execute_run is monkeypatched into the runner module "
+           "and only fork-started workers inherit that patch",
+)
+
+
+def _die_once_execute_run(run):
+    """Run 0 kills its worker on the first attempt only: a transient
+    fault (OOM pressure, cosmic ray) that a retry genuinely cures."""
+    if run["index"] == 0:
+        marker = os.environ["DIE_ONCE_MARKER"]
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            os._exit(1)
+    return _REAL_EXECUTE_RUN(run)
+
+
+def _always_die_execute_run(run):
+    """Run 0 is poison: it kills every worker that ever touches it."""
+    if run["index"] == 0:
+        os._exit(1)
+    return _REAL_EXECUTE_RUN(run)
+
+
+@fork_only
+def test_transient_worker_death_is_cured_by_retry(monkeypatch, tmp_path):
+    monkeypatch.setattr(runner_mod, "execute_run", _die_once_execute_run)
+    monkeypatch.setenv("DIE_ONCE_MARKER", str(tmp_path / "died-once"))
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(
+        replicates=1, retry_max_attempts=3, retry_backoff=0.0))
+    out = tmp_path / "out"
+    records = run_campaign(spec, workers=2, batch_size=4, out_dir=out)
+    assert all(r["status"] == "ok" for r in records)
+    # a cured run produces its *canonical* record -- no retry residue
+    assert "attempts" not in records[0]
+    assert not (out / "quarantine.jsonl").exists()
+
+
+@fork_only
+def test_poison_run_is_quarantined_and_campaign_completes(
+    monkeypatch, tmp_path
+):
+    monkeypatch.setattr(runner_mod, "execute_run", _always_die_execute_run)
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(
+        replicates=1, retry_max_attempts=3, retry_backoff=0.0))
+    out = tmp_path / "out"
+    records = run_campaign(spec, workers=2, batch_size=4, out_dir=out,
+                           telemetry=True)
+    statuses = {r["index"]: r["status"] for r in records}
+    assert statuses == {0: "quarantined", 1: "ok", 2: "ok", 3: "ok"}
+    assert records[0]["attempts"] == 3  # original + 2 retries, all fatal
+    assert "worker died" in records[0]["error"]
+    # the diagnostic sidecar validates and matches the record
+    assert validate_quarantine_file(out / "quarantine.jsonl") == 1
+    entry = json.loads((out / "quarantine.jsonl").read_text())
+    assert entry["run_id"] == records[0]["run_id"]
+    assert entry["attempts"] == 3
+    # telemetry schema still validates with the retried batch records
+    from repro.obs.telemetry import validate_telemetry_file
+
+    assert validate_telemetry_file(out / "telemetry.jsonl") >= 3
+
+
+def test_validate_quarantine_file_rejects_malformed_lines(tmp_path):
+    path = tmp_path / "quarantine.jsonl"
+    good = {"run_id": "c-0000", "index": 0, "seed": 1, "params": {},
+            "attempts": 3, "error": "worker died: x"}
+    path.write_text(json.dumps(good) + "\n")
+    assert validate_quarantine_file(path) == 1
+
+    for mutate in (
+        lambda e: e.pop("attempts"),
+        lambda e: e.update(attempts=0),
+        lambda e: e.update(attempts=True),
+        lambda e: e.update(index="zero"),
+    ):
+        entry = dict(good)
+        mutate(entry)
+        path.write_text(json.dumps(entry) + "\n")
+        with pytest.raises(ValueError):
+            validate_quarantine_file(path)
+
+
+def test_retry_knobs_never_block_resume(tmp_path):
+    """retry_max_attempts/retry_backoff are execution-only, like
+    batch_size: a resume under different values must not be refused."""
+    spec = CampaignSpec.from_dict(streaming_campaign_dict(replicates=1))
+    out = tmp_path / "out"
+    run_campaign(spec, workers=1, out_dir=out)
+    changed = CampaignSpec.from_dict(streaming_campaign_dict(
+        replicates=1, retry_max_attempts=7, retry_backoff=2.0))
+    records = CampaignRunner(changed, workers=1, out_dir=out).resume()
+    assert len(records) == 4
+
+
+# -- graceful shutdown -------------------------------------------------------
+
+def _sigterm_mid_campaign_execute_run(run):
+    """Run index 4 SIGTERMs the coordinating process (workers=1: that is
+    this process) mid-campaign -- the deterministic stand-in for an
+    operator's kill."""
+    if run["index"] == 4:
+        os.kill(os.getpid(), signal.SIGTERM)
+    return _REAL_EXECUTE_RUN(run)
+
+
+def test_sigterm_flushes_checkpoint_and_resume_is_byte_identical(
+    monkeypatch, tmp_path
+):
+    monkeypatch.setattr(runner_mod, "execute_run",
+                        _sigterm_mid_campaign_execute_run)
+    spec = CampaignSpec.from_dict(streaming_campaign_dict())
+    out = tmp_path / "out"
+    runner = CampaignRunner(spec, workers=1, batch_size=1, out_dir=out,
+                            telemetry=True)
+    with pytest.raises(CampaignInterrupted) as excinfo:
+        runner.run()
+    assert excinfo.value.signum == signal.SIGTERM
+
+    # the checkpoint holds exactly the runs that landed before the stop
+    # (index 4's own batch still completes; the loop breaks after it)
+    lines = (out / "results.jsonl").read_text().splitlines()
+    assert [json.loads(line)["index"] for line in lines] == [0, 1, 2, 3, 4]
+
+    # telemetry narrates the interruption: valid file, ends with
+    # `abandoned` (not `finish`); inline mode has nothing in flight
+    from repro.obs.telemetry import validate_telemetry_file
+
+    assert validate_telemetry_file(out / "telemetry.jsonl") >= 2
+    last = json.loads(
+        (out / "telemetry.jsonl").read_text().splitlines()[-1]
+    )
+    assert last["kind"] == "abandoned"
+    assert last["signal"] == "SIGTERM"
+    assert last["in_flight"] == []
+    assert last["done"] == 5
+
+    # resume (with the real execute_run) finishes the campaign with
+    # artifacts byte-identical to one that was never interrupted
+    monkeypatch.setattr(runner_mod, "execute_run", _REAL_EXECUTE_RUN)
+    CampaignRunner(spec, workers=1, batch_size=1, out_dir=out).resume()
+    ref = tmp_path / "ref"
+    run_campaign(spec, workers=1, batch_size=1, out_dir=ref)
+    assert campaign_artifacts(out) == campaign_artifacts(ref)
+
+
+@fork_only
+def test_cli_sigterm_exits_143_and_resume_completes(tmp_path):
+    """End-to-end: `campaign run` killed with SIGTERM exits 128+15 after
+    flushing its checkpoint; `campaign resume` finishes byte-identically
+    to an uninterrupted run."""
+    spec_dict = streaming_campaign_dict(replicates=6, duration=12.0)
+    spec_path = tmp_path / "spec.json"
+    spec_path.write_text(json.dumps(spec_dict))
+    out = tmp_path / "out"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.abspath("src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.campaign", "run", str(spec_path),
+         "--workers", "2", "--batch-size", "1", "--quiet",
+         "--out", str(out), "--telemetry"],
+        env=env, stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    results = out / "results.jsonl"
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        if results.exists() and results.read_text().count("\n") >= 2:
+            break
+        if proc.poll() is not None:
+            pytest.fail("campaign finished before it could be killed; "
+                        "make the matrix bigger")
+        time.sleep(0.02)
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(timeout=60.0) == 128 + signal.SIGTERM
+
+    # the interrupted artifacts are a valid checkpoint + telemetry story
+    from repro.obs.telemetry import validate_telemetry_file
+
+    assert validate_telemetry_file(out / "telemetry.jsonl") >= 1
+    kinds = [json.loads(line)["kind"]
+             for line in (out / "telemetry.jsonl").read_text().splitlines()]
+    assert kinds[-1] == "abandoned" and "finish" not in kinds
+
+    # resume completes and matches the uninterrupted reference
+    spec = CampaignSpec.from_dict(spec_dict)
+    CampaignRunner(spec, workers=2, batch_size=1, out_dir=out).resume()
+    ref = tmp_path / "ref"
+    run_campaign(spec, workers=1, batch_size=1, out_dir=ref)
+    assert campaign_artifacts(out) == campaign_artifacts(ref)
