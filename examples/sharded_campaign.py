@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Distributed campaign walkthrough: shard, crash, resume, merge.
+
+The campaign engine partitions a run matrix deterministically across
+hosts (``campaign run --shard i/N``): run ``index % N == i`` of the
+*full* expansion belongs to shard ``i``, and seeds/run_ids are derived
+before the split, so the shard count can never change what a run
+computes.  Each shard streams its own crash-safe checkpoint into
+``shard-i-of-N/`` with a provenance manifest, and ``campaign merge``
+fuses the checkpoints into an artifact byte-identical to a single-host
+run.
+
+This script plays the whole lifecycle in-process, in one directory:
+
+1. run the same campaign unsharded (the byte-identity anchor);
+2. run it again as 3 shards -- with shard 1 "crashing" partway
+   (its checkpoint is truncated mid-record, like a power cut);
+3. resume the crashed shard from its checkpoint;
+4. merge the three shard checkpoints and byte-compare against the
+   anchor.
+
+Set REPRO_EXAMPLE_FAST=1 to shrink the matrix (used by the smoke tests).
+
+Run:  python examples/sharded_campaign.py
+"""
+
+import json
+import os
+import tempfile
+
+from repro.campaign import CampaignRunner, CampaignSpec, merge_shards
+from repro.campaign.merge import discover_shard_dirs
+from repro.campaign.shard import load_shard_manifest
+
+
+def campaign_spec(fast: bool) -> dict:
+    return {
+        "name": "sharded-demo",
+        "seed": 42,
+        "replicates": 2 if fast else 3,
+        "base": {
+            "topology": {"kind": "chain", "n": 3, "spacing": 200.0},
+            "radio": {"range": 250.0},
+            "dns": {"position": None},
+        },
+        "axes": {"router": ["secure", "plain"],
+                 "workload.count": [2] if fast else [2, 4]},
+        "workload": {"kind": "cbr", "flows": 1, "interval": 1.0, "count": 2},
+        "duration": 5.0 if fast else 8.0,
+        "timeout": 60.0,
+    }
+
+
+def artifact_bytes(out_dir) -> dict:
+    content = {}
+    for name in ("results.jsonl", "report.json", "report.txt"):
+        with open(os.path.join(out_dir, name), "rb") as fh:
+            content[name] = fh.read()
+    return content
+
+
+def main() -> None:
+    fast = bool(os.environ.get("REPRO_EXAMPLE_FAST"))
+    spec_dict = campaign_spec(fast)
+    shards = 3
+
+    with tempfile.TemporaryDirectory(prefix="sharded-campaign-") as root:
+        # 1. the anchor: one host runs the whole matrix
+        anchor_dir = os.path.join(root, "single-host")
+        spec = CampaignSpec.from_dict(spec_dict)
+        records = CampaignRunner(spec, workers=1, out_dir=anchor_dir).run()
+        print(f"single host: {len(records)} runs -> {anchor_dir}")
+
+        # 2. three shards of the same spec, sharing one parent directory
+        #    (in production: three hosts, one shared filesystem or a
+        #    CI matrix job each uploading its shard as an artifact)
+        merged_dir = os.path.join(root, "fleet")
+        for index in range(shards):
+            spec = CampaignSpec.from_dict(spec_dict)
+            spec.shards, spec.shard_index = shards, index
+            runner = CampaignRunner(spec, workers=1, out_dir=merged_dir)
+            done = runner.run()
+            manifest = load_shard_manifest(runner.out_dir)
+            print(f"shard {index}/{shards}: {len(done)} runs, manifest "
+                  f"status={manifest['status']!r}")
+
+        # 2b. simulate a host dying mid-run: tear shard 1's checkpoint
+        shard_dirs = discover_shard_dirs(merged_dir)
+        victim = os.path.join(shard_dirs[1], "results.jsonl")
+        with open(victim, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        with open(victim, "w", encoding="utf-8") as fh:
+            fh.write("".join(lines[:-1]) + lines[-1][:19])  # torn final line
+        print(f"crashed shard 1: kept {len(lines) - 1} of {len(lines)} "
+              "records plus a torn tail")
+
+        # 3. the replacement host resumes the shard from its checkpoint
+        spec = CampaignSpec.from_dict(spec_dict)
+        spec.shards, spec.shard_index = shards, 1
+        CampaignRunner(spec, workers=1, out_dir=merged_dir).resume()
+        print("resumed shard 1 (torn record discarded and re-executed)")
+
+        # 4. fuse the shard checkpoints and byte-compare with the anchor
+        summary = merge_shards(
+            CampaignSpec.from_dict(spec_dict), shard_dirs, merged_dir,
+        )
+        print("merge summary: "
+              + json.dumps({k: summary[k] for k in
+                            ("shards", "per_shard_runs", "runs", "total",
+                             "conflicts", "gaps", "complete")}))
+
+        anchor = artifact_bytes(anchor_dir)
+        merged = artifact_bytes(merged_dir)
+        for name in anchor:
+            verdict = "identical" if anchor[name] == merged[name] else "DIFFER"
+            print(f"  {name}: single-host vs merged -> {verdict}")
+        assert anchor == merged, "merge broke the byte-identity contract"
+
+    print(
+        "\nReading: the shard split is execution-only -- seeds and run ids\n"
+        "are assigned on the full matrix before partitioning, each shard\n"
+        "checkpoints crash-safely under its own provenance manifest, and\n"
+        "the merged artifact is byte-identical to the single-host run\n"
+        "even after a shard crashed and was resumed elsewhere."
+    )
+
+
+if __name__ == "__main__":
+    main()

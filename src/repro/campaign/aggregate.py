@@ -55,6 +55,27 @@ def write_jsonl(path, records: list[dict], fsync: bool = False) -> None:
             os.fsync(fh.fileno())
 
 
+def write_json_artifact(path, data) -> None:
+    """Canonical pretty-printed JSON artifact (``indent=2, sort_keys``).
+
+    The one serializer behind ``spec.json``/``report.json`` wherever
+    they are written (runner finalize, ``campaign merge``), so the
+    byte-identity contract between a merged and a single-host campaign
+    can never be broken by formatting drift.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def write_report_artifacts(out_dir, report: dict) -> None:
+    """Write ``report.json`` + ``report.txt`` for a finalized campaign."""
+    write_json_artifact(os.path.join(out_dir, "report.json"), report)
+    with open(os.path.join(out_dir, "report.txt"), "w",
+              encoding="utf-8") as fh:
+        fh.write(report_text(report) + "\n")
+
+
 def read_jsonl(path) -> list[dict]:
     records = []
     with open(path, "r", encoding="utf-8") as fh:
@@ -201,10 +222,18 @@ class StreamingAggregator:
         self._failed: list[tuple] = []
         self._runs = 0
         self._ok = 0
+        self._quarantined = 0
 
     def add(self, record: dict) -> None:
         self._runs += 1
         if record.get("status") != "ok":
+            # Quarantined runs (a worker-killer that exhausted its retry
+            # budget -- see the runner) are failures with their own
+            # count: they carry no summary, so they can never leak into
+            # the metric sketches below, but they must stay visible in
+            # the failed list rather than silently shrinking the matrix.
+            if record.get("status") == "quarantined":
+                self._quarantined += 1
             self._failed.append((
                 record.get("index", self._runs),
                 {"run_id": record["run_id"], "status": record["status"],
@@ -250,6 +279,7 @@ class StreamingAggregator:
         report = {
             "runs": self._runs,
             "ok": self._ok,
+            "quarantined": self._quarantined,
             "failed": [entry for _, entry in sorted(
                 self._failed, key=lambda item: item[0]
             )],
@@ -303,10 +333,14 @@ def report_text(report: dict, metrics: list[str] | None = None) -> str:
             stat = group["metrics"].get(name)
             row.append(f"{stat['mean']:.4g}" if stat else "-")
         rows.append(row)
+    quarantined = report.get("quarantined", 0)
+    title = f"Campaign aggregate ({report['ok']}/{report['runs']} runs ok"
+    if quarantined:
+        title += f", {quarantined} quarantined"
     table = format_table(
         ["params", "runs"] + metrics,
         rows,
-        title=f"Campaign aggregate ({report['ok']}/{report['runs']} runs ok)",
+        title=title + ")",
     )
     if report["failed"]:
         lines = [table, "", "Failed runs:"]

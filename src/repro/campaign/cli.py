@@ -13,6 +13,12 @@ resume   Finish an interrupted campaign: skip the run indices already
          (discarding a torn final line from a crash mid-write), execute
          the rest, and finalize output byte-identical to an
          uninterrupted ``run``.
+merge    Fuse ``campaign run --shard i/N`` checkpoint directories into
+         one artifact byte-identical to a single-host run.  Refuses
+         fingerprint mismatches; quarantines conflicting duplicate
+         records to ``merge-conflicts.jsonl``; ``--allow-partial``
+         turns missing shards into a resumable checkpoint plus a
+         ``merge-gaps.json`` manifest instead of an error.
 report   Re-render the aggregate table from a results file/directory.
          Works on an in-flight or interrupted campaign: partial results
          aggregate normally and a torn tail is skipped with a warning.
@@ -45,12 +51,46 @@ from repro.campaign.aggregate import (
     report_text,
 )
 from repro.campaign.baseline import compare, comparison_text
-from repro.campaign.runner import CampaignInterrupted, CampaignRunner
+from repro.campaign.merge import discover_shard_dirs, merge_shards
+from repro.campaign.runner import (
+    EXECUTOR_REGISTRY,
+    CampaignInterrupted,
+    CampaignRunner,
+)
+from repro.campaign.shard import parse_shard
 from repro.campaign.spec import CampaignSpec
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: an integer >= 1, rejected with a one-line message."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _shard_arg(text: str) -> tuple[int, int]:
+    """argparse type for ``--shard i/N``; exit 2 on malformed input."""
+    try:
+        return parse_shard(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
 def _report_and_gate(records: list[dict], args) -> int:
-    """Shared run/resume epilogue: print the aggregate, apply the gate."""
+    """Shared run/resume/merge epilogue: print the aggregate, apply the gate."""
+    if getattr(args, "shard", None) is not None:
+        # One shard's slice aggregates to a misleading table, and a
+        # baseline gate over it would flag the missing shards as matrix
+        # drift; reporting happens after `campaign merge`.
+        failed = sum(1 for r in records if r.get("status") != "ok")
+        print(f"shard {args.shard[0]}/{args.shard[1]}: {len(records)} runs "
+              f"checkpointed ({failed} failed); aggregate and gate after "
+              "'campaign merge'")
+        return 3 if failed else 0
     report = aggregate(records)
     print()
     print(report_text(report))
@@ -74,6 +114,8 @@ def _report_and_gate(records: list[dict], args) -> int:
 
 def _make_runner(args) -> CampaignRunner:
     spec = CampaignSpec.from_file(args.spec)
+    if args.shard is not None:
+        spec.shard_index, spec.shards = args.shard
     return CampaignRunner(
         spec,
         workers=args.workers,
@@ -82,6 +124,7 @@ def _make_runner(args) -> CampaignRunner:
         echo=None if args.quiet else print,
         progress=args.progress,
         telemetry=args.telemetry,
+        executor=args.executor,
     )
 
 
@@ -91,6 +134,26 @@ def _cmd_run(args) -> int:
 
 def _cmd_resume(args) -> int:
     return _report_and_gate(_make_runner(args).resume(), args)
+
+
+def _cmd_merge(args) -> int:
+    spec = CampaignSpec.from_file(args.spec)
+    out_dir = args.out or f"campaigns/{spec.name}"
+    shard_dirs = args.shards or discover_shard_dirs(out_dir)
+    if not shard_dirs:
+        print(f"error: no shard-*-of-* directories under {out_dir} "
+              "(pass them explicitly with --shards)", file=sys.stderr)
+        return 2
+    echo = None if args.quiet else print
+    summary = merge_shards(
+        spec, shard_dirs, out_dir,
+        allow_partial=args.allow_partial,
+        echo=echo, telemetry=args.telemetry,
+    )
+    if not summary["complete"]:
+        # partial merge: usable checkpoint, but not the final artifact
+        return 3
+    return _report_and_gate(load_results(out_dir), args)
 
 
 def _resolve_results(target) -> tuple[str, str | None]:
@@ -197,13 +260,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_execution_args(p) -> None:
         p.add_argument("spec", help="path to a campaign spec JSON file")
-        p.add_argument("--workers", type=int, default=2,
-                       help="worker processes (<=1 runs inline; default 2)")
-        p.add_argument("--batch-size", type=int, default=None,
+        p.add_argument("--workers", type=_positive_int, default=2,
+                       help="worker processes (1 runs inline; default 2)")
+        p.add_argument("--batch-size", type=_positive_int, default=None,
                        help="runs grouped per worker task (default: the "
                             "spec's batch_size, else auto-tuned from the "
                             "matrix size and worker count; never changes "
                             "results)")
+        p.add_argument("--shard", type=_shard_arg, default=None,
+                       metavar="i/N",
+                       help="execute only shard i of an N-way split of the "
+                            "run matrix (checkpoint goes to "
+                            "<out>/shard-i-of-N/; fuse with 'merge')")
+        p.add_argument("--executor", choices=sorted(EXECUTOR_REGISTRY),
+                       default="local",
+                       help="execution backend (default local: a "
+                            "multiprocessing pool on this host)")
         p.add_argument("--out", default=None,
                        help="output directory (default campaigns/<name>)")
         p.add_argument("--baseline", default=None,
@@ -229,6 +301,33 @@ def build_parser() -> argparse.ArgumentParser:
              "checkpoint (byte-identical to an uninterrupted run)")
     _add_execution_args(p_resume)
     p_resume.set_defaults(func=_cmd_resume)
+
+    p_merge = sub.add_parser(
+        "merge",
+        help="fuse shard checkpoint directories into one campaign "
+             "artifact (byte-identical to a single-host run)")
+    p_merge.add_argument("spec", help="path to the campaign spec JSON file")
+    p_merge.add_argument("--out", default=None,
+                         help="merged output directory, also the default "
+                              "place shards are discovered "
+                              "(default campaigns/<name>)")
+    p_merge.add_argument("--shards", nargs="+", default=None,
+                         metavar="DIR",
+                         help="shard checkpoint directories to merge "
+                              "(default: shard-*-of-* under --out)")
+    p_merge.add_argument("--allow-partial", action="store_true",
+                         help="accept missing shards/runs: write the merged "
+                              "records as a resumable checkpoint plus a "
+                              "merge-gaps.json manifest and exit 3")
+    p_merge.add_argument("--baseline", default=None,
+                         help="previous results.jsonl to gate against")
+    p_merge.add_argument("--pdr-tol", type=float, default=0.02)
+    p_merge.add_argument("--latency-tol", type=float, default=0.25)
+    p_merge.add_argument("--quiet", action="store_true")
+    p_merge.add_argument("--telemetry", action="store_true",
+                         help="append a v3 'merge' summary record to the "
+                              "merged directory's telemetry.jsonl")
+    p_merge.set_defaults(func=_cmd_merge)
 
     p_report = sub.add_parser("report", help="render the aggregate table")
     p_report.add_argument("results", help="results.jsonl or campaign directory")

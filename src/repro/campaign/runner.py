@@ -17,6 +17,15 @@ the ``campaign resume`` CLI verb) reads that checkpoint back, discards
 a torn tail, re-runs only the missing indices, and finalizes output
 byte-identical to an uninterrupted campaign.
 
+*Where* batches execute is pluggable: the runner dispatches through an
+executor backend (:data:`EXECUTOR_REGISTRY` -- the multiprocessing
+pool is the ``"local"`` backend, ``"inline"`` runs everything in the
+coordinating process) and, with a shard assignment
+(``campaign run --shard i/N``), executes only its slice of the matrix
+into a crash-safe ``shard-i-of-N/`` checkpoint that ``campaign merge``
+(:mod:`repro.campaign.merge`) later fuses -- so a campaign survives
+not just a dead worker but a dead host.
+
 Isolation guarantees:
 
 * **Determinism** -- a run's record depends only on its :class:`RunSpec`
@@ -53,6 +62,14 @@ import threading
 import time
 from contextlib import contextmanager
 
+from repro.campaign.shard import (
+    load_shard_manifest,
+    shard_dir_name,
+    shard_payloads,
+    spec_fingerprint,
+    touch_heartbeat,
+    write_shard_manifest,
+)
 from repro.campaign.spec import CampaignSpec
 from repro.ipv6.address import IPv6Address
 from repro.scenarios import (
@@ -345,6 +362,133 @@ def auto_batch_size(n_runs: int, workers: int) -> int:
                       math.ceil(n_runs / (workers * _OVERSUBSCRIPTION))))
 
 
+# -- pluggable executors -------------------------------------------------
+#
+# The runner's dispatch loop is generic; *where* a batch executes is an
+# Executor's business.  The protocol is deliberately small so new
+# backends (a remote job queue, a CI matrix fan-out) can slot in without
+# touching the retry/quarantine/telemetry/checkpoint machinery:
+#
+#   run_batches(chunks, task, on_outcome, should_stop) -> in_flight
+#       Execute ``task(chunk)`` for every chunk, calling
+#       ``on_outcome(chunk, value, error)`` as each completes (in
+#       completion order; ``error`` is the worker-death exception when
+#       the backend lost the process running the chunk).  Poll
+#       ``should_stop()`` between completions and return the chunks
+#       *dispatched but never handed* to ``on_outcome`` -- runs that
+#       may have half-executed somewhere -- so a graceful shutdown can
+#       name its abandoned work.  Chunks never dispatched at all are
+#       not in flight (the resume checkpoint recomputes them as
+#       pending); a serial backend therefore returns an empty list.
+#
+#   run_single(payload) -> record
+#       Execute one run in the strongest isolation the backend has
+#       (the orphan-retry path); raises if the backend loses it again.
+#
+# Executors must call ``task``/``execute_run`` late-bound through this
+# module's globals -- the robustness tests monkeypatch them.
+
+class InlineExecutor:
+    """Serial in-process backend: batches run in the coordinating process.
+
+    The ``workers <= 1`` path: no pools, no pickling, identical results
+    -- easiest to debug and the only mode where a run can be stepped
+    through in the coordinating process.
+    """
+
+    name = "inline"
+
+    def __init__(self, workers: int = 1):
+        self.workers = 1
+
+    def run_batches(self, chunks, task, on_outcome, should_stop):
+        for chunk in chunks:
+            if should_stop():
+                # nothing is in flight: the current batch completed and
+                # landed before the stop check, the rest never started
+                break
+            on_outcome(chunk, task(chunk), None)
+        return []
+
+    def run_single(self, payload: dict) -> dict:
+        return execute_run(payload)
+
+
+class LocalExecutor:
+    """Multiprocessing-pool backend: batches fan out across local cores.
+
+    Worker death (OOM-kill, segfault) breaks the whole pool -- every
+    pending future fails with it -- so affected chunks are reported
+    through ``on_outcome`` with the death as ``error``; the runner
+    retries those runs via :meth:`run_single` (a fresh single-worker
+    pool, so only a genuinely poisonous run keeps failing).
+    """
+
+    name = "local"
+
+    def __init__(self, workers: int, context=None):
+        self.workers = max(1, int(workers))
+        self.context = context or multiprocessing.get_context()
+
+    def run_batches(self, chunks, task, on_outcome, should_stop):
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(self.workers, len(chunks)),
+            mp_context=self.context,
+        )
+        futures = {}
+        not_done: set = set()
+        try:
+            futures = {pool.submit(task, c): c for c in chunks}
+            not_done = set(futures)
+            while not_done and not should_stop():
+                # Short-timeout wait instead of as_completed so a stop
+                # signal is noticed promptly even while batches run.
+                done, not_done = concurrent.futures.wait(
+                    not_done, timeout=0.2,
+                    return_when=concurrent.futures.FIRST_COMPLETED,
+                )
+                for future in done:
+                    try:
+                        value = future.result()
+                    except Exception as exc:  # worker died: the pool is
+                        # broken and every pending future fails with it;
+                        # execute_batch can't catch process death inside
+                        on_outcome(futures[future], None, exc)
+                    else:
+                        on_outcome(futures[future], value, None)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return [futures[future] for future in not_done]
+
+    def run_single(self, payload: dict) -> dict:
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=1, mp_context=self.context
+        ) as retry_pool:
+            return retry_pool.submit(execute_run, payload).result()
+
+
+#: Executor backends selectable via ``CampaignRunner(executor=...)`` /
+#: ``campaign run --executor``.  ``"local"`` degrades to the inline
+#: backend at ``workers <= 1`` (same results either way -- the
+#: determinism contract makes backends interchangeable).
+EXECUTOR_REGISTRY = {
+    "local": LocalExecutor,
+    "inline": InlineExecutor,
+}
+
+
+def create_executor(name: str, workers: int):
+    """Instantiate a registered executor backend by name."""
+    if name not in EXECUTOR_REGISTRY:
+        raise ValueError(
+            f"unknown executor {name!r} "
+            f"(expected one of {sorted(EXECUTOR_REGISTRY)})"
+        )
+    if name == "local" and int(workers) <= 1:
+        return InlineExecutor()
+    return EXECUTOR_REGISTRY[name](workers)
+
+
 def _worker_death_record(payload: dict, exc: Exception) -> dict:
     return {
         "run_id": payload["run_id"],
@@ -454,6 +598,7 @@ class CampaignRunner:
         echo=None,
         progress: bool = False,
         telemetry: bool = False,
+        executor: str = "local",
     ):
         self.spec = spec
         self.workers = max(1, int(workers))
@@ -462,7 +607,26 @@ class CampaignRunner:
         if batch_size is not None and int(batch_size) < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = None if batch_size is None else int(batch_size)
+        if executor not in EXECUTOR_REGISTRY:
+            raise ValueError(
+                f"unknown executor {executor!r} "
+                f"(expected one of {sorted(EXECUTOR_REGISTRY)})"
+            )
+        self.executor_name = executor
         self.out_dir = None if out_dir is None else os.fspath(out_dir)
+        #: ``(shard_index, shard_count)`` when the spec declares a shard
+        #: assignment.  The shard's checkpoint lives in its own
+        #: ``shard-<i>-of-<N>/`` subdirectory of ``out_dir``, so every
+        #: shard of a campaign can point at the same parent directory
+        #: (shared filesystem, collected CI artifacts) and ``campaign
+        #: merge`` fuses them from there.
+        self.shard = None
+        if spec.shards is not None:
+            self.shard = (spec.shard_index, spec.shards)
+            if self.out_dir is not None:
+                self.out_dir = os.path.join(
+                    self.out_dir, shard_dir_name(*self.shard)
+                )
         self.progress = bool(progress)
         self.telemetry = bool(telemetry)
         if self.telemetry and self.out_dir is None:
@@ -470,6 +634,7 @@ class CampaignRunner:
         self._say = echo or (lambda _msg: None)
         self._counts = {"ok": 0, "failed": 0}
         self._total = 0
+        self._matrix_total = 0
         self._telemetry = None
         self._started = None
         self._done_at_start = 0
@@ -479,12 +644,19 @@ class CampaignRunner:
 
     # -- public entry points --------------------------------------------
     def run(self) -> list[dict]:
-        """Execute every run of the matrix; returns sorted records."""
-        payloads = [r.to_dict() for r in self.spec.expand()]
+        """Execute every run of this executor's slice; returns sorted records.
+
+        Unsharded, the slice is the whole matrix.  With a shard
+        assignment, the full matrix is expanded first (run_ids/seeds
+        never depend on the split) and only the indices assigned to
+        this shard execute, streaming to the shard's own checkpoint.
+        """
+        payloads = self._own_payloads()
         batch = self.batch_size or auto_batch_size(len(payloads), self.workers)
         self._say(
-            f"campaign {self.spec.name!r}: {len(payloads)} runs on "
-            f"{self.workers} worker(s), batch size {batch}"
+            f"campaign {self.spec.name!r}:{self._shard_label()} "
+            f"{len(payloads)} runs on {self.workers} worker(s), "
+            f"batch size {batch}"
         )
         return self._execute(payloads, existing=[], batch=batch)
 
@@ -502,19 +674,56 @@ class CampaignRunner:
         if self.out_dir is None:
             raise ValueError("resume() requires an output directory")
         self._check_spec_provenance()
-        payloads = [r.to_dict() for r in self.spec.expand()]
+        self._check_shard_provenance()
+        payloads = self._own_payloads()
         results_path = os.path.join(self.out_dir, "results.jsonl")
         kept = self._load_checkpoint(results_path, payloads)
         pending = [p for p in payloads if p["index"] not in kept]
         batch = self.batch_size or auto_batch_size(len(pending), self.workers)
         self._say(
-            f"campaign {self.spec.name!r}: resuming -- {len(kept)} of "
-            f"{len(payloads)} runs checkpointed, {len(pending)} left on "
-            f"{self.workers} worker(s), batch size {batch}"
+            f"campaign {self.spec.name!r}:{self._shard_label()} resuming -- "
+            f"{len(kept)} of {len(payloads)} runs checkpointed, "
+            f"{len(pending)} left on {self.workers} worker(s), "
+            f"batch size {batch}"
         )
         existing = sorted(kept.values(), key=lambda r: r["index"])
         return self._execute(pending, existing=existing, batch=batch,
                              resumed=True)
+
+    # -- shard helpers --------------------------------------------------
+    def _own_payloads(self) -> list[dict]:
+        """This executor's slice of the fully-expanded run matrix."""
+        payloads = [r.to_dict() for r in self.spec.expand()]
+        self._matrix_total = len(payloads)
+        if self.shard is None:
+            return payloads
+        return shard_payloads(payloads, *self.shard)
+
+    def _shard_label(self) -> str:
+        if self.shard is None:
+            return ""
+        return f" shard {self.shard[0]}/{self.shard[1]} --"
+
+    def _check_shard_provenance(self) -> None:
+        """Refuse to resume across a shard-assignment mismatch.
+
+        A shard checkpoint resumed under a different (or absent) shard
+        assignment would treat every other shard's runs as pending and
+        re-execute them into the wrong directory; an unsharded
+        checkpoint resumed *as* a shard would silently drop the rest of
+        the matrix.  Both are operator errors worth a hard stop.
+        """
+        manifest = load_shard_manifest(self.out_dir)
+        saved = (None if manifest is None
+                 else (manifest["shard_index"], manifest["shard_count"]))
+        if saved != self.shard:
+            describe = lambda s: "unsharded" if s is None else f"shard {s[0]}/{s[1]}"
+            raise ValueError(
+                f"refusing to resume: {self.out_dir} was written by a "
+                f"{describe(saved)} execution but this one is "
+                f"{describe(self.shard)}; pass the matching --shard "
+                "(or point --out at the right checkpoint)"
+            )
 
     # -- resume helpers -------------------------------------------------
     @staticmethod
@@ -523,15 +732,11 @@ class CampaignRunner:
 
         ``batch_size`` never changes results; ``summary_mode`` only
         changes how reports reduce them; the retry knobs govern how hard
-        the runner fights worker death, not what a run computes.  None
-        of them may block a resume.
+        the runner fights worker death; the shard keys say *where* a
+        slice executes, never what it computes.  None of them may block
+        a resume (see :func:`repro.campaign.shard.spec_fingerprint`).
         """
-        data = dict(data)
-        data.pop("batch_size", None)
-        data.pop("summary_mode", None)
-        data.pop("retry_max_attempts", None)
-        data.pop("retry_backoff", None)
-        return data
+        return spec_fingerprint(data)
 
     def _check_spec_provenance(self) -> None:
         """Refuse to resume into an output directory from a different spec."""
@@ -622,6 +827,7 @@ class CampaignRunner:
             self._telemetry = TelemetryTracker(
                 os.path.join(self.out_dir, "telemetry.jsonl")
             )
+            shard_index, shard_count = self.shard or (0, 1)
             self._telemetry.start(
                 campaign=self.spec.name,
                 total_runs=self._total,
@@ -629,23 +835,15 @@ class CampaignRunner:
                 workers=self.workers,
                 batch_size=batch,
                 resumed=resumed,
+                shard_index=shard_index,
+                shard_count=shard_count,
             )
         try:
             if pending:
                 chunks = [pending[i:i + batch]
                           for i in range(0, len(pending), batch)]
-                if self.workers <= 1:
-                    for chunk in chunks:
-                        if self._stop_signal is not None:
-                            break
-                        if self._telemetry is None:
-                            self._ingest(execute_batch(chunk), records, stream)
-                        else:
-                            outcome = _timed_execute_batch(chunk)
-                            self._ingest(outcome["records"], records, stream)
-                            self._batch_telemetry(outcome)
-                else:
-                    self._dispatch(chunks, records, stream)
+                executor = create_executor(self.executor_name, self.workers)
+                self._dispatch(chunks, records, stream, executor)
             if self._stop_signal is not None:
                 if self._telemetry is not None:
                     self._telemetry.abandoned(
@@ -720,72 +918,57 @@ class CampaignRunner:
         )
 
     def _dispatch(self, chunks: list[list[dict]], records: list[dict],
-                  stream) -> None:
-        """Run batches across the pool; stream results as they complete.
+                  stream, executor) -> None:
+        """Run batches on the executor; stream results as they complete.
 
-        Worker death (OOM-kill, segfault) breaks the whole pool -- every
-        pending future fails with it -- so affected runs are collected
-        and re-executed afterwards by :meth:`_retry_orphan`, each alone
-        in a fresh single-worker pool with bounded exponential backoff.
-        A stop signal breaks the wait loop between completions: batches
-        still running in workers finish there but are *not* ingested;
-        their runs are reported as the ``abandoned`` telemetry record's
+        A chunk the executor *lost* (worker death: OOM-kill, segfault)
+        comes back with an error; its runs are collected and re-executed
+        afterwards by :meth:`_retry_orphan`, each alone in the
+        executor's strongest isolation with bounded exponential backoff.
+        A stop signal ends dispatch between completions: batches still
+        running in workers finish there but are *not* ingested; their
+        runs are reported as the ``abandoned`` telemetry record's
         ``in_flight`` list and re-executed by ``campaign resume``.
         """
-        context = multiprocessing.get_context()
         task = execute_batch if self._telemetry is None else _timed_execute_batch
         orphaned = []  # (payload, exc) whose worker died mid-batch
-        pool = concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(self.workers, len(chunks)), mp_context=context
+
+        def on_outcome(chunk, value, error):
+            if error is not None:
+                orphaned.extend((p, error) for p in chunk)
+                return
+            if self._telemetry is None:
+                self._ingest(value, records, stream)
+            else:
+                self._ingest(value["records"], records, stream)
+                self._batch_telemetry(value)
+
+        unfinished = executor.run_batches(
+            chunks, task, on_outcome,
+            should_stop=lambda: self._stop_signal is not None,
         )
-        futures = {}
-        not_done: set = set()
-        try:
-            futures = {pool.submit(task, c): c for c in chunks}
-            not_done = set(futures)
-            while not_done and self._stop_signal is None:
-                # Short-timeout wait instead of as_completed so a stop
-                # signal is noticed promptly even while batches run.
-                done, not_done = concurrent.futures.wait(
-                    not_done, timeout=0.2,
-                    return_when=concurrent.futures.FIRST_COMPLETED,
-                )
-                for future in done:
-                    try:
-                        outcome = future.result()
-                    except Exception as exc:  # worker died: the pool is
-                        # broken and every pending future fails with it;
-                        # execute_batch can't catch process death inside
-                        orphaned.extend((p, exc) for p in futures[future])
-                        continue
-                    if self._telemetry is None:
-                        self._ingest(outcome, records, stream)
-                    else:
-                        self._ingest(outcome["records"], records, stream)
-                        self._batch_telemetry(outcome)
-        finally:
-            pool.shutdown(wait=True, cancel_futures=True)
         if self._stop_signal is not None:
             self._abandoned.extend(
-                p["index"] for future in not_done for p in futures[future]
+                p["index"] for chunk in unfinished for p in chunk
             )
             self._abandoned.extend(p["index"] for p, _exc in orphaned)
             return
         for payload, exc in sorted(orphaned, key=lambda pair: pair[0]["index"]):
-            self._retry_orphan(payload, exc, context, records, stream)
+            self._retry_orphan(payload, exc, executor, records, stream)
 
-    def _retry_orphan(self, payload: dict, death: Exception, context,
+    def _retry_orphan(self, payload: dict, death: Exception, executor,
                       records: list[dict], stream) -> None:
         """Re-execute a worker-death orphan with bounded backoff.
 
         Innocent batchmates die with a poison run's worker, so each
-        orphan is retried alone in a fresh single-worker pool -- only
-        the run that actually kills workers keeps failing.  Attempts
-        are bounded by ``spec.retry_max_attempts`` (*total*, counting
-        the original dispatch) with ``retry_backoff * 2**(n-1)`` sleeps
-        between them.  A run that exhausts the budget gets a
-        ``"quarantined"`` record (campaign still completes) and an
-        fsync'd diagnostic line in ``quarantine.jsonl``.
+        orphan is retried alone via ``executor.run_single`` (for the
+        local backend: a fresh single-worker pool) -- only the run that
+        actually kills workers keeps failing.  Attempts are bounded by
+        ``spec.retry_max_attempts`` (*total*, counting the original
+        dispatch) with ``retry_backoff * 2**(n-1)`` sleeps between
+        them.  A run that exhausts the budget gets a ``"quarantined"``
+        record (campaign still completes) and an fsync'd diagnostic
+        line in ``quarantine.jsonl``.
         """
         last_exc = death
         retry_started = time.perf_counter()
@@ -798,10 +981,7 @@ class CampaignRunner:
                 time.sleep(delay)
             self._retries += 1
             try:
-                with concurrent.futures.ProcessPoolExecutor(
-                    max_workers=1, mp_context=context
-                ) as retry_pool:
-                    record = retry_pool.submit(execute_run, payload).result()
+                record = executor.run_single(payload)
             except Exception as exc:
                 last_exc = exc
                 continue
@@ -856,6 +1036,10 @@ class CampaignRunner:
                 stream.write(json.dumps(record, sort_keys=True) + "\n")
                 stream.flush()
                 os.fsync(stream.fileno())
+                if self.shard is not None:
+                    # the shard manifest's mtime is the heartbeat other
+                    # hosts watch for liveness
+                    touch_heartbeat(self.out_dir)
             self._say(f"  [{len(records)}/{self._total}] {record['run_id']} "
                       f"{record['status']}{suffix}")
         if self.progress:
@@ -898,6 +1082,12 @@ class CampaignRunner:
 
         os.makedirs(self.out_dir, exist_ok=True)
         self._write_spec_provenance()
+        if self.shard is not None:
+            write_shard_manifest(
+                self.out_dir, self.spec.to_dict(), *self.shard,
+                total_runs=self._matrix_total, assigned_runs=self._total,
+                status="running",
+            )
         path = os.path.join(self.out_dir, "results.jsonl")
         tmp = path + ".tmp"
         write_jsonl(tmp, existing, fsync=True)
@@ -905,10 +1095,11 @@ class CampaignRunner:
         return open(path, "a", encoding="utf-8")
 
     def _write_spec_provenance(self) -> None:
-        with open(os.path.join(self.out_dir, "spec.json"), "w",
-                  encoding="utf-8") as fh:
-            json.dump(self.spec.to_dict(), fh, indent=2, sort_keys=True)
-            fh.write("\n")
+        from repro.campaign.aggregate import write_json_artifact
+
+        write_json_artifact(
+            os.path.join(self.out_dir, "spec.json"), self.spec.to_dict()
+        )
 
     def _finalize(self, records: list[dict]) -> None:
         """Rewrite the stream sorted by run index + emit the reports.
@@ -918,22 +1109,33 @@ class CampaignRunner:
         count, batch size, or resume history.  Atomic replace: a crash
         mid-finalize leaves the (complete) streamed checkpoint behind,
         which a further ``resume`` finalizes identically.
+
+        A shard finalizes only its sorted checkpoint and marks its
+        manifest ``complete`` -- reports over one slice of the matrix
+        would be misleading; ``campaign merge`` writes the real ones.
         """
-        from repro.campaign.aggregate import aggregate, report_text, write_jsonl
+        from repro.campaign.aggregate import (
+            aggregate,
+            write_jsonl,
+            write_report_artifacts,
+        )
 
         path = os.path.join(self.out_dir, "results.jsonl")
         tmp = path + ".tmp"
         write_jsonl(tmp, records, fsync=True)
         os.replace(tmp, path)
+        if self.shard is not None:
+            write_shard_manifest(
+                self.out_dir, self.spec.to_dict(), *self.shard,
+                total_runs=self._matrix_total, assigned_runs=len(records),
+                status="complete",
+            )
+            self._say(f"wrote {path} (shard checkpoint; fuse the shards "
+                      "with 'campaign merge')")
+            return
         report = aggregate(records, mode=self.spec.summary_mode)
         report["campaign"] = self.spec.name
-        with open(os.path.join(self.out_dir, "report.json"), "w",
-                  encoding="utf-8") as fh:
-            json.dump(report, fh, indent=2, sort_keys=True)
-            fh.write("\n")
-        with open(os.path.join(self.out_dir, "report.txt"), "w",
-                  encoding="utf-8") as fh:
-            fh.write(report_text(report) + "\n")
+        write_report_artifacts(self.out_dir, report)
         self._say(f"wrote {path}")
 
 
@@ -945,6 +1147,7 @@ def run_campaign(
     batch_size: int | None = None,
     progress: bool = False,
     telemetry: bool = False,
+    executor: str = "local",
 ) -> list[dict]:
     """Execute every run of ``spec`` and return sorted records.
 
@@ -963,4 +1166,5 @@ def run_campaign(
         echo=echo,
         progress=progress,
         telemetry=telemetry,
+        executor=executor,
     ).run()

@@ -48,6 +48,7 @@ _KNOWN_KEYS = {
     "name", "seed", "replicates", "base", "axes", "samples",
     "workload", "adversaries", "bootstrap", "duration", "timeout",
     "batch_size", "summary_mode", "retry_max_attempts", "retry_backoff",
+    "shards", "shard_index",
 }
 
 
@@ -122,6 +123,17 @@ class CampaignSpec:
     retry_max_attempts: int = 3
     #: Base sleep (seconds) before retry n: retry_backoff * 2**(n-1).
     retry_backoff: float = 0.5
+    #: Shard assignment for distributed execution: this campaign runs
+    #: only the run indices ``index % shards == shard_index`` of the
+    #: *full* matrix (seeds/run_ids are expanded first, so they never
+    #: depend on the shard split).  Both-or-neither with
+    #: ``shard_index``; usually set via ``campaign run --shard i/N``.
+    #: Execution-only, like batch_size: folded out of the resume
+    #: fingerprint, and ``campaign merge`` fuses shard checkpoints into
+    #: an artifact byte-identical to an unsharded run.
+    shards: int | None = None
+    #: Which shard of ``shards`` this execution is (0-based).
+    shard_index: int | None = None
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -148,6 +160,10 @@ class CampaignSpec:
             summary_mode=str(data.get("summary_mode", "exact")),
             retry_max_attempts=int(data.get("retry_max_attempts", 3)),
             retry_backoff=float(data.get("retry_backoff", 0.5)),
+            shards=(int(data["shards"])
+                    if data.get("shards") is not None else None),
+            shard_index=(int(data["shard_index"])
+                         if data.get("shard_index") is not None else None),
         )
         if spec.replicates < 1:
             raise ValueError("replicates must be >= 1")
@@ -162,6 +178,16 @@ class CampaignSpec:
                 f"summary_mode must be 'exact' or 'sketch', "
                 f"not {spec.summary_mode!r}"
             )
+        if (spec.shards is None) != (spec.shard_index is None):
+            raise ValueError("shards and shard_index must be set together")
+        if spec.shards is not None:
+            if spec.shards < 1:
+                raise ValueError("shards must be >= 1")
+            if not 0 <= spec.shard_index < spec.shards:
+                raise ValueError(
+                    f"shard_index must be in [0, {spec.shards}), "
+                    f"got {spec.shard_index}"
+                )
         for path, values in spec.axes.items():
             if not isinstance(values, list) or not values:
                 raise ValueError(f"axis {path!r} must map to a non-empty list")
@@ -189,6 +215,8 @@ class CampaignSpec:
             "summary_mode": self.summary_mode,
             "retry_max_attempts": self.retry_max_attempts,
             "retry_backoff": self.retry_backoff,
+            "shards": self.shards,
+            "shard_index": self.shard_index,
         }
 
     # -- expansion -------------------------------------------------------

@@ -24,10 +24,15 @@ import os
 #: carries it as ``"v"`` so consumers can reject files they don't speak.
 #: v2: batch records gained fault counters (faults_injected,
 #: re_dad_count); new ``abandoned`` kind written on graceful shutdown.
-TELEMETRY_SCHEMA_VERSION = 2
+#: v3: start records carry the shard assignment (shard_index,
+#: shard_count -- 0/1 for an unsharded run); new ``merge`` kind written
+#: by ``campaign merge`` with per-shard run counts and conflict totals.
+#: Validation accepts v2 *and* v3 files, so sidecars written before the
+#: shard work keep validating.
+TELEMETRY_SCHEMA_VERSION = 3
 
-#: Required fields per record kind (beyond the ``v``/``kind`` envelope).
-_SCHEMA = {
+#: Required fields per v2 record kind (beyond the ``v``/``kind`` envelope).
+_SCHEMA_V2 = {
     "start": {
         "campaign": str,
         "total_runs": int,
@@ -81,22 +86,44 @@ _SCHEMA = {
     },
 }
 
+#: v3 extends v2: sharded provenance on ``start`` plus the ``merge``
+#: summary record ``campaign merge`` emits (per-shard run counts and
+#: conflict totals, so a fused campaign's telemetry names what each
+#: shard contributed and what was quarantined on the way in).
+_SCHEMA_V3 = {kind: dict(fields) for kind, fields in _SCHEMA_V2.items()}
+_SCHEMA_V3["start"].update({"shard_index": int, "shard_count": int})
+_SCHEMA_V3["merge"] = {
+    "campaign": str,
+    "shards": int,
+    "per_shard_runs": list,
+    "conflicts": int,
+    "gaps": int,
+    "runs": int,
+    "total": int,
+    "complete": bool,
+}
+
+#: Schema versions this validator speaks; the writer always emits the
+#: newest one.
+_SCHEMAS = {2: _SCHEMA_V2, 3: _SCHEMA_V3}
+
 
 def validate_telemetry_record(record: dict) -> None:
-    """Raise ``ValueError`` unless ``record`` matches the schema."""
+    """Raise ``ValueError`` unless ``record`` matches its version's schema."""
     if not isinstance(record, dict):
         raise ValueError(f"telemetry record must be an object, got {type(record).__name__}")
-    if record.get("v") != TELEMETRY_SCHEMA_VERSION:
+    schema = _SCHEMAS.get(record.get("v"))
+    if schema is None:
         raise ValueError(
             f"telemetry schema version {record.get('v')!r} "
-            f"(expected {TELEMETRY_SCHEMA_VERSION})"
+            f"(expected one of {sorted(_SCHEMAS)})"
         )
     kind = record.get("kind")
-    fields = _SCHEMA.get(kind)
+    fields = schema.get(kind)
     if fields is None:
         raise ValueError(
-            f"unknown telemetry record kind {kind!r} "
-            f"(expected one of {sorted(_SCHEMA)})"
+            f"unknown telemetry record kind {kind!r} for schema "
+            f"v{record['v']} (expected one of {sorted(schema)})"
         )
     for name, expected in fields.items():
         if name not in record:
@@ -109,7 +136,8 @@ def validate_telemetry_record(record: dict) -> None:
         elif expected is int:
             ok = isinstance(value, int) and not isinstance(value, bool)
         elif expected is list:
-            # Lists of run indices (the `abandoned` record's in_flight).
+            # Lists of non-negative run counts/indices (`abandoned`'s
+            # in_flight, `merge`'s per_shard_runs).
             ok = isinstance(value, list) and all(
                 isinstance(v, int) and not isinstance(v, bool) for v in value
             )
@@ -125,9 +153,11 @@ def validate_telemetry_record(record: dict) -> None:
 def validate_telemetry_file(path) -> int:
     """Validate every record in a ``telemetry.jsonl``; returns the count.
 
-    Checks the schema of each line plus the envelope invariants a whole
-    file must satisfy: exactly one ``start`` record (first) and at most
-    one ``finish`` record (last).  Raises ``ValueError`` on the first
+    Checks the schema of each line (v2 and v3 files both validate) plus
+    the envelope invariants a whole file must satisfy: the first record
+    is ``start`` (an execution narration) or ``merge`` (a ``campaign
+    merge`` narration), ``start`` appears at most once, and nothing
+    follows a ``finish`` record.  Raises ``ValueError`` on the first
     violation.
     """
     count = 0
@@ -149,10 +179,10 @@ def validate_telemetry_file(path) -> int:
                 raise ValueError(
                     f"{path}: line {lineno}: record after 'finish'"
                 )
-            if count == 0 and record["kind"] != "start":
+            if count == 0 and record["kind"] not in ("start", "merge"):
                 raise ValueError(
-                    f"{path}: line {lineno}: first record must be 'start', "
-                    f"got {record['kind']!r}"
+                    f"{path}: line {lineno}: first record must be 'start' "
+                    f"or 'merge', got {record['kind']!r}"
                 )
             if count > 0 and record["kind"] == "start":
                 raise ValueError(f"{path}: line {lineno}: duplicate 'start'")
@@ -192,7 +222,8 @@ class TelemetryTracker:
         os.fsync(self._fh.fileno())
 
     def start(self, campaign: str, total_runs: int, pending_runs: int,
-              workers: int, batch_size: int, resumed: bool) -> None:
+              workers: int, batch_size: int, resumed: bool,
+              shard_index: int = 0, shard_count: int = 1) -> None:
         self._emit({
             "kind": "start",
             "campaign": str(campaign),
@@ -201,6 +232,8 @@ class TelemetryTracker:
             "workers": int(workers),
             "batch_size": int(batch_size),
             "resumed": bool(resumed),
+            "shard_index": int(shard_index),
+            "shard_count": int(shard_count),
         })
 
     def batch(self, runs: int, ok: int, failed: int, wall_s: float,
@@ -227,6 +260,22 @@ class TelemetryTracker:
             "crypto_verify_cache_hits": int(crypto_verify_cache_hits),
             "faults_injected": int(faults_injected),
             "re_dad_count": int(re_dad_count),
+        })
+
+    def merge(self, campaign: str, shards: int, per_shard_runs,
+              conflicts: int, gaps: int, runs: int, total: int,
+              complete: bool) -> None:
+        """Summary of one ``campaign merge``: what each shard contributed."""
+        self._emit({
+            "kind": "merge",
+            "campaign": str(campaign),
+            "shards": int(shards),
+            "per_shard_runs": [int(n) for n in per_shard_runs],
+            "conflicts": int(conflicts),
+            "gaps": int(gaps),
+            "runs": int(runs),
+            "total": int(total),
+            "complete": bool(complete),
         })
 
     def abandoned(self, signal_name: str, in_flight, done: int, total: int) -> None:

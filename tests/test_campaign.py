@@ -263,6 +263,43 @@ def test_aggregate_groups_replicates_and_reports_failures():
     assert "router=secure" in text and "Failed runs:" in text
 
 
+def test_quarantined_records_count_as_failures_never_pollute_metrics():
+    spec = tiny_spec(replicates=2, axes={"router": ["secure", "plain"]})
+    records = run_campaign(spec, workers=1)
+    clean = aggregate(records)
+    # quarantine one run of each group: no summary (the run never
+    # completed), identity fields intact -- exactly what the runner's
+    # retry-exhaustion path writes
+    poisoned = json.loads(json.dumps(records))
+    for victim in (poisoned[0], poisoned[-1]):
+        victim.pop("summary", None)
+        victim["status"] = "quarantined"
+        victim["error"] = "worker died: poison"
+        victim["attempts"] = 3
+    report = aggregate(poisoned)
+    assert report["runs"] == 4 and report["ok"] == 2
+    assert report["quarantined"] == 2
+    # quarantined runs land in the failed column...
+    assert {f["status"] for f in report["failed"]} == {"quarantined"}
+    # ...and the surviving groups' sketches reduce over the ok runs
+    # only: each group's run count dropped by its quarantined member and
+    # every stat still lies inside the clean campaign's envelope
+    clean_groups = {json.dumps(g["params"], sort_keys=True): g
+                    for g in clean["groups"]}
+    for group in report["groups"]:
+        key = json.dumps(group["params"], sort_keys=True)
+        assert group["runs"] == clean_groups[key]["runs"] - 1
+        for name, stat in group["metrics"].items():
+            envelope = clean_groups[key]["metrics"][name]
+            assert envelope["min"] <= stat["mean"] <= envelope["max"]
+    # the headline makes the quarantine visible
+    text = report_text(report)
+    assert "2 quarantined" in text
+    # a clean campaign reports the key at zero and stays silent in text
+    assert clean["quarantined"] == 0
+    assert "quarantined" not in report_text(clean)
+
+
 def test_compare_flags_pdr_and_status_regressions():
     spec = tiny_spec()
     records = run_campaign(spec, workers=1)

@@ -55,6 +55,8 @@ def test_telemetry_sidecar_is_schema_valid_and_results_unchanged(tmp_path):
     assert start["kind"] == "start"
     assert start["total_runs"] == 12
     assert start["resumed"] is False
+    # unsharded executions carry the degenerate shard assignment
+    assert start["shard_index"] == 0 and start["shard_count"] == 1
     assert finish["kind"] == "finish"
     assert finish["runs"] == 12 and finish["ok"] == 12
     assert finish["timeouts"] == 0 and finish["retries"] == 0
@@ -143,7 +145,8 @@ def test_validate_file_enforces_envelope(tmp_path):
               "wall_s": 0.1, "runs_per_sec": 0.0}
     start = {"v": TELEMETRY_SCHEMA_VERSION, "kind": "start", "campaign": "t",
              "total_runs": 0, "pending_runs": 0, "workers": 1,
-             "batch_size": 1, "resumed": False}
+             "batch_size": 1, "resumed": False,
+             "shard_index": 0, "shard_count": 1}
 
     write([start, finish])
     assert validate_telemetry_file(path) == 2
@@ -163,6 +166,57 @@ def test_validate_file_enforces_envelope(tmp_path):
     write([])
     with pytest.raises(ValueError, match="empty telemetry"):
         validate_telemetry_file(path)
+
+
+def test_validator_accepts_v2_files(tmp_path):
+    # Forward compatibility: sidecars written before the shard work (v2
+    # start records without shard fields, no merge kind) keep validating.
+    path = tmp_path / "telemetry.jsonl"
+    start_v2 = {"v": 2, "kind": "start", "campaign": "old",
+                "total_runs": 1, "pending_runs": 1, "workers": 1,
+                "batch_size": 1, "resumed": False}
+    finish_v2 = {"v": 2, "kind": "finish", "runs": 1, "ok": 1, "failed": 0,
+                 "timeouts": 0, "retries": 0, "wall_s": 0.1,
+                 "runs_per_sec": 10.0}
+    with open(path, "w", encoding="utf-8") as fh:
+        for record in (start_v2, finish_v2):
+            fh.write(json.dumps(record) + "\n")
+    assert validate_telemetry_file(path) == 2
+
+    validate_telemetry_record(start_v2)
+    # ...but a v3 start without the shard fields is incomplete
+    with pytest.raises(ValueError, match="shard_index"):
+        validate_telemetry_record({**start_v2, "v": 3})
+
+
+def test_merge_record_is_v3_only(tmp_path):
+    merge = {"v": 3, "kind": "merge", "campaign": "t", "shards": 3,
+             "per_shard_runs": [4, 4, 4], "conflicts": 0, "gaps": 0,
+             "runs": 12, "total": 12, "complete": True}
+    validate_telemetry_record(merge)
+    with pytest.raises(ValueError, match="unknown telemetry record kind"):
+        validate_telemetry_record({**merge, "v": 2})
+    with pytest.raises(ValueError, match="per_shard_runs"):
+        validate_telemetry_record({**merge, "per_shard_runs": ["4"]})
+
+    # a merge record is a valid file opener (it narrates a merge, which
+    # has no 'start')
+    path = tmp_path / "telemetry.jsonl"
+    path.write_text(json.dumps(merge) + "\n")
+    assert validate_telemetry_file(path) == 1
+
+
+def test_tracker_merge_event(tmp_path):
+    path = tmp_path / "telemetry.jsonl"
+    tracker = TelemetryTracker(path)
+    tracker.merge(campaign="t", shards=2, per_shard_runs=[6, 6],
+                  conflicts=0, gaps=0, runs=12, total=12, complete=True)
+    tracker.close()
+    assert validate_telemetry_file(path) == 1
+    record = _telemetry_records(tmp_path)[0]
+    assert record["kind"] == "merge"
+    assert record["v"] == TELEMETRY_SCHEMA_VERSION
+    assert record["per_shard_runs"] == [6, 6]
 
 
 def test_tracker_writes_are_immediately_durable(tmp_path):
